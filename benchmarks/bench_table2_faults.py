@@ -1,0 +1,70 @@
+"""Table 2: the injected faults and the failures they simulate.
+
+Regenerates the fault catalog and validates, per fault, that arming it
+against a live cluster produces the manifestation Table 2 describes.
+The benchmark times one full inject-and-manifest cycle across all six
+faults.
+"""
+
+from repro.experiments import table2
+from repro.faults import FAULT_NAMES, FaultSpec, make_fault
+from repro.hadoop import ClusterConfig, HadoopCluster, JobSpec, MB
+
+
+def _manifest_one(fault_name: str) -> bool:
+    """Arm the fault on a small busy cluster and check it bites."""
+    cluster = HadoopCluster(ClusterConfig(num_slaves=4, seed=3))
+    for i in range(3):
+        cluster.submit_job(
+            JobSpec(
+                job_id=f"200807070001_{i:04d}",
+                name="job",
+                input_bytes=256.0 * MB,
+                num_reduces=2,
+            )
+        )
+    fault = make_fault(fault_name)
+    fault.arm(cluster, FaultSpec(node="slave02", inject_time=30.0))
+    cluster.run_until(240.0)
+    fs = cluster.procfs("slave02")
+    if fault_name == "CPUHog":
+        return (fs.cpu.user + fs.cpu.system) / fs.cpu.total() > 0.4
+    if fault_name == "DiskHog":
+        return fs.disk.io_time_ms > 100_000.0
+    if fault_name == "PacketLoss":
+        return cluster.network.loss_rate("slave02") == 0.5
+    if fault_name == "HADOOP-1036":
+        return not any(
+            "_m_" in r.line and "is done" in r.line and r.time > 60.0
+            for r in cluster.tt_logs["slave02"].records()
+        )
+    if fault_name == "HADOOP-1152":
+        # Crash-looping reduces: failures logged, and no reduce finishes
+        # on the sick node once the bug is active.
+        records = cluster.tt_logs["slave02"].records()
+        return not any(
+            "_r_" in r.line and "is done" in r.line and r.time > 35.0
+            for r in records
+        )
+    if fault_name == "HADOOP-2080":
+        records = cluster.tt_logs["slave02"].records()
+        return not any(
+            "_r_" in r.line and "is done" in r.line and r.time > 35.0
+            for r in records
+        )
+    return False
+
+
+def test_table2_fault_catalog(benchmark):
+    def inject_all():
+        return {name: _manifest_one(name) for name in FAULT_NAMES}
+
+    manifested = benchmark.pedantic(inject_all, rounds=1, iterations=1)
+
+    print("\nTable 2: injected faults and the reported failures they simulate")
+    print(f"{'Fault':<12} {'Manifested':<10} Reported failure")
+    for row in table2():
+        ok = "yes" if manifested[row.fault_name] else "NO"
+        print(f"{row.fault_name:<12} {ok:<10} {row.reported_failure}")
+        print(f"{'':<12} {'':<10} injected: {row.injected}")
+    assert all(manifested.values()), manifested

@@ -1,0 +1,65 @@
+"""Table 4: RPC bandwidth per collection type.
+
+Paper numbers (per monitored node, one collection iteration per second):
+
+    RPC Type    Static Ovh. (kB)   Per-iter BW (kB/s)
+    sadc-tcp    1.98               1.22
+    hl-dn-tcp   2.04               0.31
+    hl-tt-tcp   2.04               0.32
+    TCP Sum     6.06               1.85
+
+The claims to reproduce: connection setup costs a few kB per node; the
+steady-state monitoring bandwidth is a few kB/s per node (so even
+hundreds of nodes aggregate to ~1 MB/s); and sadc dominates the two log
+daemons, which cost roughly the same as each other.
+"""
+
+from repro.experiments import measure_overheads
+
+PAPER_ROWS = {
+    "sadc-tcp": (1.98, 1.22),
+    "hl-dn-tcp": (2.04, 0.31),
+    "hl-tt-tcp": (2.04, 0.32),
+    "TCP Sum": (6.06, 1.85),
+}
+
+
+def test_table4_rpc_bandwidth(benchmark):
+    report = benchmark.pedantic(
+        lambda: measure_overheads(num_slaves=10, duration_s=300.0),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\nTable 4: RPC bandwidth per type (per monitored node)")
+    print(
+        f"{'RPC Type':<10} {'Static kB':>10} {'BW kB/s':>8}   "
+        f"{'paper kB':>8} {'paper kB/s':>10}"
+    )
+    for row in report.table4:
+        paper_static, paper_bw = PAPER_ROWS[row.rpc_type]
+        print(
+            f"{row.rpc_type:<10} {row.static_overhead_kb:10.2f} "
+            f"{row.per_iteration_kb_s:8.2f}   {paper_static:8.2f} {paper_bw:10.2f}"
+        )
+
+    by_type = {row.rpc_type: row for row in report.table4}
+    # Shape assertions.
+    total = by_type["TCP Sum"]
+    assert total.static_overhead_kb < 20.0          # a few kB per node
+    assert total.per_iteration_kb_s < 20.0          # a few kB/s per node
+    # sadc (64+ metrics) costs more bandwidth than either log daemon.
+    assert (
+        by_type["sadc-tcp"].per_iteration_kb_s
+        > by_type["hl-dn-tcp"].per_iteration_kb_s
+    )
+    assert (
+        by_type["sadc-tcp"].per_iteration_kb_s
+        > by_type["hl-tt-tcp"].per_iteration_kb_s
+    )
+    # The two hadoop_log daemons cost about the same as each other.
+    ratio = (
+        by_type["hl-tt-tcp"].per_iteration_kb_s
+        / max(1e-9, by_type["hl-dn-tcp"].per_iteration_kb_s)
+    )
+    assert 0.3 < ratio < 3.0

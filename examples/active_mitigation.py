@@ -1,0 +1,104 @@
+"""Closing the loop: fingerpoint, then mitigate (paper section 5).
+
+"We also plan to equip ASDF with the ability to actively mitigate the
+consequences of a performance problem once it is detected."  This
+example wires the ``mitigate`` module after the combined alarm stream of
+a full ASDF deployment.  When the CPU hog is fingerpointed, the module
+blacklists the culprit at the JobTracker: new tasks route around the
+sick node while the cluster keeps completing jobs.
+
+Run:  python examples/active_mitigation.py          (~40 s)
+"""
+
+from repro.core import FptCore, SimClock
+from repro.experiments import (
+    ScenarioConfig,
+    build_asdf_config_text,
+    shared_model,
+)
+from repro.faults import FaultSpec, make_fault
+from repro.hadoop import HadoopCluster
+from repro.hadoop.cluster import BlacklistController
+from repro.modules import (
+    HADOOP_LOG_CHANNEL_SERVICE,
+    SADC_CHANNEL_SERVICE,
+    standard_registry,
+)
+from repro.rpc.daemons import HadoopLogDaemon, SadcDaemon
+from repro.rpc.inproc import InprocChannel
+from repro.workloads import generate_workload
+
+CONFIG = ScenarioConfig(
+    num_slaves=8, duration_s=900.0, seed=5, fault_name="CPUHog", inject_time=240.0
+)
+FAULTY = "slave04"
+
+
+def main() -> None:
+    print("training black-box model...")
+    model = shared_model(CONFIG, training_duration_s=240.0)
+
+    cluster = HadoopCluster(CONFIG.cluster_config())
+    for spec in generate_workload(CONFIG.workload_config()).jobs:
+        cluster.schedule_job(spec)
+    make_fault(CONFIG.fault_name).arm(
+        cluster, FaultSpec(node=FAULTY, inject_time=CONFIG.inject_time)
+    )
+
+    nodes = cluster.slave_names
+    controller = BlacklistController(cluster)
+    services = {
+        SADC_CHANNEL_SERVICE: {
+            n: InprocChannel(SadcDaemon(n, cluster.procfs(n)), f"sadc@{n}")
+            for n in nodes
+        },
+        HADOOP_LOG_CHANNEL_SERVICE: {
+            n: [
+                InprocChannel(HadoopLogDaemon(n, cluster.tt_logs[n]), f"tt@{n}"),
+                InprocChannel(HadoopLogDaemon(n, cluster.dn_logs[n]), f"dn@{n}"),
+            ]
+            for n in nodes
+        },
+        "bb_model": model,
+        "mitigation_controller": controller,
+    }
+
+    # The standard evaluation deployment, plus the mitigation responder
+    # hanging off the combined alarm stream.
+    config_text = build_asdf_config_text(nodes, CONFIG) + (
+        "\n[mitigate]\nid = responder\n"
+        "input[a] = combined.alarms\nmin_alarms = 1\n"
+    )
+    core = FptCore.from_config(
+        config_text, standard_registry(), SimClock(), services=services
+    )
+
+    print(
+        f"running {CONFIG.duration_s:.0f}s; {CONFIG.fault_name} on {FAULTY} "
+        f"at t={CONFIG.inject_time:.0f}s, mitigation armed...\n"
+    )
+    while cluster.time < CONFIG.duration_s:
+        cluster.step(1.0)
+        core.run_until(cluster.time)
+    core.close()
+
+    assert controller.mitigated, "the fault was never fingerpointed"
+    when, node = controller.mitigated[0]
+    print(f"t={when:.0f}s  mitigation blacklisted {node} at the JobTracker")
+    assert node == FAULTY
+
+    launches_after = sum(
+        1
+        for record in cluster.tt_logs[FAULTY].records()
+        if "LaunchTaskAction" in record.line and record.time > when
+    )
+    print(f"tasks dispatched to {FAULTY} after blacklisting: {launches_after}")
+    print(f"jobs completed over the whole run: {cluster.jobs_succeeded()}")
+
+    assert launches_after == 0
+    assert cluster.jobs_succeeded() > 0
+    print("\nfingerpoint -> blacklist -> service continues. Loop closed.")
+
+
+if __name__ == "__main__":
+    main()

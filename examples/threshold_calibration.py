@@ -1,0 +1,43 @@
+"""Calibrating detection thresholds the way the paper does (Figure 6).
+
+"We varied the threshold value ... for the problem-free traces to assess
+the false-positive rates, and then used the threshold value that
+resulted in a low false-positive rate."  This example runs one
+fault-free monitored experiment, replays its captured analysis
+statistics against a grid of thresholds, prints both Figure 6 curves,
+and picks the operating points at the knees.
+
+Run:  python examples/threshold_calibration.py      (~40 s)
+"""
+
+from repro.experiments import (
+    ScenarioConfig,
+    figure6,
+    pick_knee,
+    shared_model,
+)
+
+
+def main() -> None:
+    config = ScenarioConfig(num_slaves=8, duration_s=900.0, seed=3)
+    print("training model and running one fault-free monitored experiment...")
+    model = shared_model(config, training_duration_s=240.0)
+    result = figure6(
+        config,
+        thresholds=range(0, 125, 5),
+        ks=[x / 2.0 for x in range(0, 11)],
+        model=model,
+    )
+
+    print()
+    print(result.render())
+
+    bb_threshold = pick_knee(result.blackbox)
+    wb_k = pick_knee(result.whitebox)
+    print()
+    print(f"operating points: blackbox threshold = {bb_threshold:.0f}, whitebox k = {wb_k:.1f}")
+    print("(pass these as ScenarioConfig(bb_threshold=..., wb_k=...))")
+
+
+if __name__ == "__main__":
+    main()

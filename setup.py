@@ -1,0 +1,4 @@
+"""Shim so `python setup.py develop` works offline (no wheel package)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""repro: a full reproduction of ASDF (DSN 2009).
+
+ASDF -- the Automated System for Diagnosing Failures -- is an online
+problem-localization ("fingerpointing") framework.  This package contains
+the framework itself (:mod:`repro.core`, :mod:`repro.modules`), the
+substrates it is evaluated on (a Hadoop cluster simulator in
+:mod:`repro.hadoop`/:mod:`repro.sim`, a sysstat-style metrics layer in
+:mod:`repro.sysstat`, an RPC layer in :mod:`repro.rpc`), the GridMix-like
+workload generator (:mod:`repro.workloads`), the six injected faults from
+the paper's Table 2 (:mod:`repro.faults`), the analysis algorithms
+(:mod:`repro.analysis`) and the experiment harness regenerating every
+table and figure of the evaluation (:mod:`repro.experiments`).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,51 @@
+"""Metric scaling for black-box analysis (paper section 4.5).
+
+"Instead of using raw metric values to characterize workloads, we use
+the logarithm of every metric sample (we used log(x+1) ... to ensure
+positive values for logarithms) ... Furthermore, we scaled the resulting
+logarithmic metric samples by the standard deviation of the logarithm
+computed over the fault-free training data."
+
+:class:`LogScaler` packages exactly that transform: fit captures the
+per-metric standard deviation of ``log1p`` over training data; transform
+maps a raw sample vector to its scaled-log representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Floor applied to training standard deviations so constant metrics do
+#: not blow up the scaled values (they carry no signal either way).
+MIN_SIGMA = 1e-3
+
+
+@dataclass
+class LogScaler:
+    """Per-metric ``log1p`` + sigma normalization."""
+
+    sigma: np.ndarray
+
+    @classmethod
+    def fit(cls, samples: np.ndarray) -> "LogScaler":
+        """Fit on fault-free training data, shape (n_samples, n_metrics)."""
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 2 or samples.shape[0] < 2:
+            raise ValueError(
+                f"need a (n_samples >= 2, n_metrics) training matrix, "
+                f"got shape {samples.shape}"
+            )
+        logged = np.log1p(np.maximum(samples, 0.0))
+        sigma = logged.std(axis=0)
+        return cls(sigma=np.maximum(sigma, MIN_SIGMA))
+
+    def transform(self, samples: np.ndarray) -> np.ndarray:
+        """Scale raw samples; accepts a single vector or a matrix."""
+        samples = np.asarray(samples, dtype=float)
+        return np.log1p(np.maximum(samples, 0.0)) / self.sigma
+
+    @property
+    def n_metrics(self) -> int:
+        return int(self.sigma.shape[0])

@@ -1,0 +1,90 @@
+"""Sliding-window utilities shared by the analysis algorithms.
+
+Both detectors aggregate one-sample-per-second metrics over windows of
+``windowSize`` samples; "consecutive windows over which the metrics are
+collected can overlap with each other by an amount equal to
+windowOverlap" (paper section 4.5).  We express the overlap as a *slide*
+(``slide = windowSize - windowOverlap``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """Window geometry: size and slide, both in samples."""
+
+    size: int = 60
+    slide: int = 60
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"window size must be positive, got {self.size}")
+        if self.slide <= 0:
+            raise ValueError(f"window slide must be positive, got {self.slide}")
+        if self.slide > self.size:
+            raise ValueError(
+                f"slide ({self.slide}) larger than size ({self.size}) would "
+                f"skip samples"
+            )
+
+    @property
+    def overlap(self) -> int:
+        return self.size - self.slide
+
+    def bounds(self, n_samples: int) -> List[Tuple[int, int]]:
+        """All complete [start, end) windows within ``n_samples``."""
+        result = []
+        start = 0
+        while start + self.size <= n_samples:
+            result.append((start, start + self.size))
+            start += self.slide
+        return result
+
+    def iter_windows(self, samples: np.ndarray) -> Iterator[np.ndarray]:
+        """Yield each complete window of a (n_samples, ...) array."""
+        samples = np.asarray(samples)
+        for start, end in self.bounds(samples.shape[0]):
+            yield samples[start:end]
+
+    def window_count(self, n_samples: int) -> int:
+        if n_samples < self.size:
+            return 0
+        return (n_samples - self.size) // self.slide + 1
+
+    def window_end_time(self, index: int, start_time: float = 0.0) -> float:
+        """Timestamp at which window ``index`` completes (seconds)."""
+        return start_time + index * self.slide + self.size
+
+
+class StreamingWindow:
+    """Online accumulator: push samples, get windows as they complete.
+
+    Used by the online analysis modules: every completed window is
+    returned exactly once, with overlapping retention handled according
+    to the :class:`WindowSpec`.
+    """
+
+    def __init__(self, spec: WindowSpec) -> None:
+        self.spec = spec
+        self._buffer: List[np.ndarray] = []
+        self.windows_emitted = 0
+
+    def push(self, sample: np.ndarray) -> List[np.ndarray]:
+        """Add one sample; return any windows completed by it."""
+        self._buffer.append(np.asarray(sample, dtype=float))
+        completed: List[np.ndarray] = []
+        while len(self._buffer) >= self.spec.size:
+            completed.append(np.array(self._buffer[: self.spec.size]))
+            del self._buffer[: self.spec.slide]
+            self.windows_emitted += 1
+        return completed
+
+    def pending(self) -> int:
+        """Samples buffered toward the next window."""
+        return len(self._buffer)

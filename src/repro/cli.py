@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Everything the evaluation does, runnable from a terminal:
+
+* ``demo``      -- one monitored run with an injected fault, with an
+                   ASCII alarm timeline;
+* ``calibrate`` -- the Figure 6 fault-free threshold sweeps;
+* ``figure7``   -- the full per-fault accuracy/latency sweep;
+* ``overhead``  -- Tables 3 and 4;
+* ``table2``    -- the fault catalog;
+* ``config``    -- print the generated fpt-core configuration file
+                   (the paper's Figure 3 at cluster scale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import (
+    ScenarioConfig,
+    build_asdf_config_text,
+    figure6,
+    figure7,
+    measure_overheads,
+    pick_knee,
+    run_scenario,
+    shared_model,
+    table2,
+)
+from .experiments.report import render_summary, render_timeline
+from .faults import FAULT_NAMES
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--slaves", type=int, default=10, help="slave node count")
+    parser.add_argument("--duration", type=float, default=900.0, help="run seconds")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--inject", type=float, default=300.0, help="fault time")
+
+
+def _scenario_config(args, fault: Optional[str]) -> ScenarioConfig:
+    return ScenarioConfig(
+        num_slaves=args.slaves,
+        duration_s=args.duration,
+        seed=args.seed,
+        fault_name=fault,
+        inject_time=args.inject,
+    )
+
+
+def cmd_demo(args) -> int:
+    config = _scenario_config(args, args.fault)
+    print(f"training black-box model ({args.slaves} slaves)...", flush=True)
+    model = shared_model(config, training_duration_s=min(300.0, args.duration))
+    print(
+        f"running {args.duration:.0f}s with "
+        f"{args.fault or 'no fault'}...",
+        flush=True,
+    )
+    result = run_scenario(config, model=model)
+    print()
+    print(render_summary(result))
+    print()
+    print(render_timeline(result))
+    if result.truth.faulty_node is not None:
+        culprits = {alarm.node for alarm in result.alarms_all}
+        if result.truth.faulty_node in culprits:
+            print("\nculprit fingerpointed correctly.")
+            return 0
+        print("\nculprit NOT fingerpointed in this run.")
+        return 1
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    config = _scenario_config(args, None)
+    model = shared_model(config, training_duration_s=min(300.0, args.duration))
+    result = figure6(config, model=model)
+    print(result.render())
+    print(
+        f"\nsuggested operating points: bb threshold "
+        f"{pick_knee(result.blackbox):.0f}, wb k {pick_knee(result.whitebox):.1f}"
+    )
+    return 0
+
+
+def cmd_figure7(args) -> int:
+    seeds = tuple(int(s) for s in args.seeds.split(","))
+    config = _scenario_config(args, None)
+    model = shared_model(config, training_duration_s=min(300.0, args.duration))
+    result = figure7(config, seeds=seeds, model=model)
+    print(result.render())
+    return 0
+
+
+def cmd_overhead(args) -> int:
+    report = measure_overheads(num_slaves=args.slaves, duration_s=args.duration)
+    print("Table 3: process overheads")
+    print(report.table3_text())
+    print("\nTable 4: RPC bandwidth per monitored node")
+    print(report.table4_text())
+    return 0
+
+
+def cmd_table2(args) -> int:
+    for row in table2():
+        print(f"{row.fault_name:<12} {row.reported_failure}")
+        print(f"{'':<12} injected: {row.injected}")
+    return 0
+
+
+def cmd_config(args) -> int:
+    nodes = [f"slave{i + 1:02d}" for i in range(args.slaves)]
+    print(build_asdf_config_text(nodes, _scenario_config(args, None)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="ASDF (DSN 2009) reproduction: online fingerpointing "
+        "of performance problems in a simulated Hadoop cluster.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="one monitored fault-injection run")
+    _add_scenario_args(demo)
+    demo.add_argument(
+        "--fault",
+        choices=list(FAULT_NAMES),
+        default="CPUHog",
+        help="fault to inject (Table 2 name)",
+    )
+    demo.set_defaults(handler=cmd_demo)
+
+    calibrate = commands.add_parser(
+        "calibrate", help="Figure 6 fault-free threshold sweeps"
+    )
+    _add_scenario_args(calibrate)
+    calibrate.set_defaults(handler=cmd_calibrate)
+
+    fig7 = commands.add_parser("figure7", help="per-fault accuracy and latency")
+    _add_scenario_args(fig7)
+    fig7.add_argument("--seeds", default="7,19", help="comma-separated seeds")
+    fig7.set_defaults(handler=cmd_figure7)
+
+    overhead = commands.add_parser("overhead", help="Tables 3 and 4")
+    _add_scenario_args(overhead)
+    overhead.set_defaults(handler=cmd_overhead)
+
+    catalog = commands.add_parser("table2", help="the fault catalog")
+    catalog.set_defaults(handler=cmd_table2)
+
+    config = commands.add_parser(
+        "config", help="print the generated fpt-core configuration file"
+    )
+    _add_scenario_args(config)
+    config.set_defaults(handler=cmd_config)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

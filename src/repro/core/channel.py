@@ -1,0 +1,179 @@
+"""Data channels connecting module outputs to module inputs.
+
+The fpt-core DAG's edges are *connections*: a module declares named
+:class:`Output` ports at init time; the configuration wires each output to
+one or more named inputs of downstream modules.  Because a single input
+name may be bound to *all* outputs of another instance (the ``@instance``
+configuration syntax), inputs are modelled as :class:`InputGroup` -- an
+ordered list of :class:`Connection` objects sharing one input name.
+
+Every value written to an output is timestamped, producing a
+:class:`Sample`.  Connections buffer samples in a bounded deque so a slow
+analysis module drops the oldest data instead of growing without bound --
+the rate-mismatch behaviour the paper describes in section 3.7 (the
+``ibuffer`` module exists to widen this buffering when an analysis module
+wants to consume batches).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Iterator, List, Optional
+
+from .errors import ModuleError
+
+#: Default per-connection buffer capacity (samples).
+DEFAULT_QUEUE_CAPACITY = 256
+
+
+@dataclass(frozen=True)
+class Origin:
+    """Provenance metadata attached to an output.
+
+    Analysis modules use origin information to attribute anomalies to a
+    node (``node``) and to know what they are looking at (``source`` is
+    the collector type, e.g. ``"sadc"``; ``metric`` names the quantity).
+    """
+
+    node: str = ""
+    source: str = ""
+    metric: str = ""
+
+    def describe(self) -> str:
+        """Human-readable one-line description used in alarms."""
+        parts = [p for p in (self.node, self.source, self.metric) if p]
+        return "/".join(parts) if parts else "<unknown>"
+
+
+@dataclass(frozen=True)
+class Sample:
+    """A single timestamped value flowing along a connection."""
+
+    timestamp: float
+    value: Any
+
+
+class Connection:
+    """One edge of the DAG: a buffered subscription of an input to an output."""
+
+    def __init__(self, output: "Output", capacity: int = DEFAULT_QUEUE_CAPACITY) -> None:
+        self.output = output
+        self._queue: Deque[Sample] = deque(maxlen=capacity)
+        self.total_received = 0
+        self.total_dropped = 0
+        #: Instance id of the module that owns this connection; set by the
+        #: DAG builder so the scheduler can attribute writes to consumers.
+        self.owner_instance: Optional[str] = None
+
+    @property
+    def origin(self) -> Optional[Origin]:
+        return self.output.origin
+
+    def _push(self, sample: Sample) -> None:
+        if len(self._queue) == self._queue.maxlen:
+            self.total_dropped += 1
+        self._queue.append(sample)
+        self.total_received += 1
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def pop_all(self) -> List[Sample]:
+        """Drain and return every buffered sample, oldest first."""
+        samples = list(self._queue)
+        self._queue.clear()
+        return samples
+
+    def pop(self) -> Optional[Sample]:
+        """Remove and return the oldest buffered sample, or ``None``."""
+        if self._queue:
+            return self._queue.popleft()
+        return None
+
+    def latest(self) -> Optional[Sample]:
+        """Drain the buffer and return only the newest sample, or ``None``."""
+        if not self._queue:
+            return None
+        sample = self._queue[-1]
+        self._queue.clear()
+        return sample
+
+    def peek(self) -> Optional[Sample]:
+        """Return the oldest buffered sample without consuming it."""
+        if self._queue:
+            return self._queue[0]
+        return None
+
+
+class InputGroup:
+    """All connections bound to one named input of a module instance."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.connections: List[Connection] = []
+
+    def __len__(self) -> int:
+        return len(self.connections)
+
+    def __iter__(self) -> Iterator[Connection]:
+        return iter(self.connections)
+
+    def __getitem__(self, index: int) -> Connection:
+        return self.connections[index]
+
+    def single(self) -> Connection:
+        """Return the group's only connection.
+
+        Modules that require exactly one upstream output on an input call
+        this in ``init()`` to fail fast on miswiring.
+        """
+        if len(self.connections) != 1:
+            raise ModuleError(
+                f"input '{self.name}' expects exactly one connection, "
+                f"has {len(self.connections)}"
+            )
+        return self.connections[0]
+
+    def pop_latest_vector(self) -> List[Optional[Sample]]:
+        """Consume the newest sample of each connection, preserving order."""
+        return [conn.latest() for conn in self.connections]
+
+
+@dataclass
+class Output:
+    """A named output port of a module instance.
+
+    Outputs are created by modules during ``init()`` via
+    :meth:`repro.core.module.ModuleContext.create_output`.  Writing to an
+    output timestamps the value (using the core's clock) and fans it out
+    to every subscribed connection; the core is notified through
+    ``on_write`` so that input-triggered modules can be scheduled.
+    """
+
+    owner_id: str
+    name: str
+    origin: Optional[Origin] = None
+    subscribers: List[Connection] = field(default_factory=list)
+    #: Hook installed by the core: called as ``on_write(output, sample)``.
+    on_write: Optional[Callable[["Output", Sample], None]] = None
+    total_written: int = 0
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.owner_id}.{self.name}"
+
+    def subscribe(self, capacity: int = DEFAULT_QUEUE_CAPACITY) -> Connection:
+        """Create and register a new connection fed by this output."""
+        connection = Connection(self, capacity=capacity)
+        self.subscribers.append(connection)
+        return connection
+
+    def write(self, value: Any, timestamp: float) -> None:
+        """Publish ``value`` at ``timestamp`` to all subscribers."""
+        sample = Sample(timestamp=timestamp, value=value)
+        self.total_written += 1
+        for connection in self.subscribers:
+            connection._push(sample)
+        if self.on_write is not None:
+            self.on_write(self, sample)

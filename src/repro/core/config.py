@@ -1,0 +1,186 @@
+"""Parser for fpt-core configuration files.
+
+The format follows the paper's section 3.4 exactly:
+
+* ``[module-type]`` starts a new module instance of that type.
+* ``id = instance-id`` names the instance (optional; an id of the form
+  ``<type><n>`` is generated otherwise).
+* ``input[name] = instance-id.outputname`` wires a single upstream output
+  to the input ``name``.
+* ``input[name] = @instance-id`` wires *all* outputs of the upstream
+  instance to the input ``name``.
+* Every other ``key = value`` assignment is an opaque parameter handed to
+  the module instance for its own interpretation.
+
+Comments start with ``#`` or ``;`` and run to end of line.  The parser is
+line-oriented; values may contain spaces.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .errors import ConfigError
+
+_SECTION_RE = re.compile(r"^\[([A-Za-z_][A-Za-z0-9_]*)\]$")
+_INPUT_KEY_RE = re.compile(r"^input\[([A-Za-z_][A-Za-z0-9_]*)\]$")
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+@dataclass(frozen=True)
+class InputSpec:
+    """One ``input[...]`` assignment.
+
+    ``output_name`` is ``None`` for the ``@instance`` form, meaning "all
+    outputs of that instance".
+    """
+
+    input_name: str
+    instance_id: str
+    output_name: Optional[str]
+
+    def render(self) -> str:
+        if self.output_name is None:
+            return f"input[{self.input_name}] = @{self.instance_id}"
+        return (
+            f"input[{self.input_name}] = "
+            f"{self.instance_id}.{self.output_name}"
+        )
+
+
+@dataclass
+class InstanceSpec:
+    """A fully parsed module-instance declaration (one config section)."""
+
+    module_type: str
+    instance_id: str
+    params: Dict[str, str] = field(default_factory=dict)
+    inputs: List[InputSpec] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"[{self.module_type}]", f"id = {self.instance_id}"]
+        lines.extend(spec.render() for spec in self.inputs)
+        lines.extend(f"{key} = {value}" for key, value in self.params.items())
+        return "\n".join(lines)
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";"):
+        index = line.find(marker)
+        if index != -1:
+            line = line[:index]
+    return line.strip()
+
+
+def _parse_input_value(value: str, line_no: int) -> "tuple[str, Optional[str]]":
+    """Parse the right-hand side of an ``input[...]`` assignment."""
+    if value.startswith("@"):
+        instance_id = value[1:].strip()
+        if not _IDENT_RE.match(instance_id):
+            raise ConfigError(
+                f"line {line_no}: bad instance id in '@{instance_id}'"
+            )
+        return instance_id, None
+    if "." not in value:
+        raise ConfigError(
+            f"line {line_no}: input value must be 'instance.output' or "
+            f"'@instance', got {value!r}"
+        )
+    instance_id, output_name = value.split(".", 1)
+    instance_id = instance_id.strip()
+    output_name = output_name.strip()
+    if not _IDENT_RE.match(instance_id) or not output_name:
+        raise ConfigError(f"line {line_no}: bad input value {value!r}")
+    return instance_id, output_name
+
+
+def parse_config(text: str) -> List[InstanceSpec]:
+    """Parse configuration ``text`` into a list of instance specs.
+
+    Raises :class:`ConfigError` on syntax errors, assignments outside a
+    section, duplicate parameters or inputs within a section, and
+    duplicate instance ids across sections.
+    """
+    specs: List[InstanceSpec] = []
+    current: Optional[InstanceSpec] = None
+    type_counters: Dict[str, int] = {}
+    explicit_id = False
+
+    def finish(spec: Optional[InstanceSpec], had_id: bool) -> None:
+        if spec is None:
+            return
+        if not had_id:
+            counter = type_counters.setdefault(spec.module_type, 0)
+            spec.instance_id = f"{spec.module_type}{counter}"
+            type_counters[spec.module_type] = counter + 1
+        specs.append(spec)
+
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line)
+        if not line:
+            continue
+
+        section = _SECTION_RE.match(line)
+        if section:
+            finish(current, explicit_id)
+            current = InstanceSpec(module_type=section.group(1), instance_id="")
+            explicit_id = False
+            continue
+
+        if "=" not in line:
+            raise ConfigError(f"line {line_no}: expected 'key = value', got {line!r}")
+        if current is None:
+            raise ConfigError(
+                f"line {line_no}: assignment outside of a [section]"
+            )
+
+        key, _, value = line.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if not key:
+            raise ConfigError(f"line {line_no}: empty key")
+
+        input_key = _INPUT_KEY_RE.match(key)
+        if input_key:
+            input_name = input_key.group(1)
+            instance_id, output_name = _parse_input_value(value, line_no)
+            spec = InputSpec(input_name, instance_id, output_name)
+            if spec in current.inputs:
+                raise ConfigError(
+                    f"line {line_no}: duplicate input wiring {spec.render()!r}"
+                )
+            current.inputs.append(spec)
+        elif key == "id":
+            if explicit_id:
+                raise ConfigError(f"line {line_no}: duplicate 'id' assignment")
+            if not _IDENT_RE.match(value):
+                raise ConfigError(f"line {line_no}: bad instance id {value!r}")
+            current.instance_id = value
+            explicit_id = True
+        else:
+            if key in current.params:
+                raise ConfigError(
+                    f"line {line_no}: duplicate parameter '{key}' in section "
+                    f"[{current.module_type}]"
+                )
+            current.params[key] = value
+
+    finish(current, explicit_id)
+
+    seen_ids: Dict[str, str] = {}
+    for spec in specs:
+        if spec.instance_id in seen_ids:
+            raise ConfigError(
+                f"duplicate instance id '{spec.instance_id}' "
+                f"(sections [{seen_ids[spec.instance_id]}] and "
+                f"[{spec.module_type}])"
+            )
+        seen_ids[spec.instance_id] = spec.module_type
+    return specs
+
+
+def render_config(specs: List[InstanceSpec]) -> str:
+    """Render specs back to configuration-file text (parse round-trips)."""
+    return "\n\n".join(spec.render() for spec in specs) + "\n"

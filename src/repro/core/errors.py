@@ -1,0 +1,31 @@
+"""Exception hierarchy for the fpt-core framework.
+
+All framework errors derive from :class:`FptError` so callers can catch a
+single base class.  Configuration problems (bad syntax, unsatisfiable
+wiring) are reported as :class:`ConfigError`; mistakes made by module
+implementations (writing to an undeclared output, re-declaring an output)
+are reported as :class:`ModuleError`.
+"""
+
+from __future__ import annotations
+
+
+class FptError(Exception):
+    """Base class for all fpt-core errors."""
+
+
+class ConfigError(FptError):
+    """The configuration file is syntactically or semantically invalid.
+
+    Mirrors the paper's behaviour (section 3.3): if the DAG cannot be
+    fully constructed -- an input references a missing instance or output,
+    or the wiring contains a cycle -- fpt-core terminates.
+    """
+
+
+class ModuleError(FptError):
+    """A module implementation violated the plug-in API contract."""
+
+
+class SchedulerError(FptError):
+    """The scheduler was driven incorrectly (e.g. time moved backwards)."""

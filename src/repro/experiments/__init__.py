@@ -1,0 +1,75 @@
+"""Experiment harness: scenarios, calibration sweeps, and the drivers
+that regenerate every table and figure of the paper's evaluation."""
+
+from .figures import (
+    Figure6Result,
+    Figure7Result,
+    Figure7Row,
+    Table2Row,
+    figure6,
+    figure7,
+    shared_model,
+    table2,
+)
+from .model import (
+    DEFAULT_NUM_STATES,
+    BlackBoxModel,
+    collect_training_matrix,
+    train_blackbox_model,
+)
+from .persist import LoadedResult, load_result, save_result
+from .report import render_summary, render_timeline
+from .overhead import (
+    BandwidthRow,
+    OverheadReport,
+    OverheadRow,
+    compute_overhead_report,
+    deep_sizeof,
+    measure_overheads,
+)
+from .scenario import (
+    AsdfHandles,
+    ScenarioConfig,
+    ScenarioResult,
+    build_asdf_config_text,
+    deploy_asdf,
+    merge_decisions,
+    run_scenario,
+)
+from .sweep import blackbox_fp_sweep, pick_knee, whitebox_fp_sweep
+
+__all__ = [
+    "AsdfHandles",
+    "BandwidthRow",
+    "BlackBoxModel",
+    "DEFAULT_NUM_STATES",
+    "Figure6Result",
+    "Figure7Result",
+    "Figure7Row",
+    "LoadedResult",
+    "OverheadReport",
+    "OverheadRow",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "Table2Row",
+    "blackbox_fp_sweep",
+    "build_asdf_config_text",
+    "collect_training_matrix",
+    "compute_overhead_report",
+    "deep_sizeof",
+    "deploy_asdf",
+    "figure6",
+    "figure7",
+    "measure_overheads",
+    "merge_decisions",
+    "load_result",
+    "pick_knee",
+    "render_summary",
+    "render_timeline",
+    "run_scenario",
+    "save_result",
+    "shared_model",
+    "table2",
+    "train_blackbox_model",
+    "whitebox_fp_sweep",
+]

@@ -1,0 +1,104 @@
+"""Persist scenario results for offline post-processing.
+
+The paper's offline-analysis goal (section 2.1) extends to the
+evaluation harness: one expensive monitored run can be saved to a JSON
+file and replayed later -- e.g. re-sweeping thresholds over the captured
+analysis statistics without re-simulating the cluster.
+
+Only plain data is stored (alarms, per-window decisions, raw per-round
+statistics, ground truth, the scenario configuration); reloading yields
+the same sweep inputs the live run produced.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+import numpy as np
+
+from ..analysis.metrics import Alarm, GroundTruth, WindowDecision
+from .scenario import ScenarioConfig
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def save_result(result, path: Union[str, Path]) -> Path:
+    """Write a :class:`ScenarioResult`'s data to ``path`` as JSON."""
+    payload = {
+        "format": "asdf-scenario-result/1",
+        "config": asdict(result.config),
+        "truth": asdict(result.truth),
+        "jobs_completed": result.jobs_completed,
+        "alarms": {
+            name: [asdict(a) for a in alarms]
+            for name, alarms in (
+                ("blackbox", result.alarms_bb),
+                ("whitebox", result.alarms_wb),
+                ("combined", result.alarms_all),
+            )
+        },
+        "decisions": {
+            name: [asdict(d) for d in decisions]
+            for name, decisions in (
+                ("blackbox", result.decisions_bb),
+                ("whitebox", result.decisions_wb),
+                ("combined", result.decisions_all),
+            )
+        },
+        "stats": {
+            "blackbox": _jsonable(result.stats_bb),
+            "whitebox": _jsonable(result.stats_wb),
+        },
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class LoadedResult:
+    """A reloaded scenario result: the sweep-relevant subset.
+
+    Exposes the same attribute names the live :class:`ScenarioResult`
+    uses, so sweep and scoring code accepts either.
+    """
+
+    def __init__(self, payload: Dict[str, Any]) -> None:
+        if payload.get("format") != "asdf-scenario-result/1":
+            raise ValueError(
+                f"not a saved scenario result (format={payload.get('format')!r})"
+            )
+        self.config = ScenarioConfig(**payload["config"])
+        self.truth = GroundTruth(**payload["truth"])
+        self.jobs_completed = int(payload["jobs_completed"])
+        self.alarms_bb = [Alarm(**a) for a in payload["alarms"]["blackbox"]]
+        self.alarms_wb = [Alarm(**a) for a in payload["alarms"]["whitebox"]]
+        self.alarms_all = [Alarm(**a) for a in payload["alarms"]["combined"]]
+        self.decisions_bb = [
+            WindowDecision(**d) for d in payload["decisions"]["blackbox"]
+        ]
+        self.decisions_wb = [
+            WindowDecision(**d) for d in payload["decisions"]["whitebox"]
+        ]
+        self.decisions_all = [
+            WindowDecision(**d) for d in payload["decisions"]["combined"]
+        ]
+        self.stats_bb: List[dict] = payload["stats"]["blackbox"]
+        self.stats_wb: List[dict] = payload["stats"]["whitebox"]
+
+
+def load_result(path: Union[str, Path]) -> LoadedResult:
+    """Reload a result saved by :func:`save_result`."""
+    return LoadedResult(json.loads(Path(path).read_text()))

@@ -1,0 +1,98 @@
+"""Plain-text visualization of a scenario's outcome.
+
+The paper's framework family "typically support[s] visualization of the
+monitored data to allow administrators to spot anomalous trends" (section
+1).  This module renders a :class:`ScenarioResult` as an ASCII timeline:
+one row per node, one column per analysis window, showing which detector
+flagged the node-window and where the fault was injected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .scenario import ScenarioResult
+
+#: Cell glyphs: quiet, black-box alarm, white-box alarm, both.
+_GLYPHS = {(False, False): ".", (True, False): "B", (False, True): "W", (True, True): "*"}
+
+
+def _window_grid(result: ScenarioResult) -> Tuple[List[str], List[Tuple[float, float]]]:
+    nodes = sorted({d.node for d in result.decisions_wb})
+    windows = sorted(
+        {(d.window_start, d.window_end) for d in result.decisions_wb}
+    )
+    return nodes, windows
+
+
+def render_timeline(result: ScenarioResult) -> str:
+    """Render the per-node, per-window alarm timeline.
+
+    Columns follow the white-box window grid (black-box decisions are
+    mapped onto it by overlap); the ``^`` footer marks the injection
+    window; the culprit row is tagged ``<- injected``.
+    """
+    nodes, windows = _window_grid(result)
+    if not nodes or not windows:
+        return "(no analysis windows completed)"
+
+    bb_flags: Dict[Tuple[str, int], bool] = {}
+    for decision in result.decisions_bb:
+        if not decision.alarmed:
+            continue
+        for index, (start, end) in enumerate(windows):
+            if decision.window_start < end and decision.window_end > start:
+                bb_flags[(decision.node, index)] = True
+    wb_flags = {
+        (d.node, windows.index((d.window_start, d.window_end))): d.alarmed
+        for d in result.decisions_wb
+    }
+
+    width = max(len(node) for node in nodes)
+    lines = [
+        f"{'':>{width}}  one column per {int(windows[0][1] - windows[0][0])}s window"
+        f"  (B=black-box, W=white-box, *=both)"
+    ]
+    for node in nodes:
+        cells = []
+        for index in range(len(windows)):
+            bb = bb_flags.get((node, index), False)
+            wb = wb_flags.get((node, index), False)
+            cells.append(_GLYPHS[(bb, wb)])
+        tag = "  <- injected" if node == result.truth.faulty_node else ""
+        lines.append(f"{node:>{width}}  {''.join(cells)}{tag}")
+
+    if result.truth.faulty_node is not None:
+        marks = []
+        for start, end in windows:
+            marks.append("^" if start <= result.truth.inject_time < end else " ")
+        lines.append(f"{'':>{width}}  {''.join(marks)} (fault injected)")
+    return "\n".join(lines)
+
+
+def render_summary(result: ScenarioResult) -> str:
+    """A compact scorecard for one run."""
+
+    def latency(value) -> str:
+        return f"{value:.0f}s" if value is not None else "-"
+
+    lines = [
+        f"fault: {result.config.fault_name or 'none'}"
+        + (
+            f" on {result.truth.faulty_node} at t={result.truth.inject_time:.0f}s"
+            if result.truth.faulty_node
+            else ""
+        ),
+        f"jobs completed: {result.jobs_completed}",
+        f"{'detector':<10} {'BA':>6} {'FP rate':>8} {'latency':>8} {'alarms':>7}",
+    ]
+    for name, counts, lat, alarms in (
+        ("black-box", result.counts_bb, result.latency_bb, result.alarms_bb),
+        ("white-box", result.counts_wb, result.latency_wb, result.alarms_wb),
+        ("combined", result.counts_all, result.latency_all, result.alarms_all),
+    ):
+        lines.append(
+            f"{name:<10} {counts.balanced_accuracy:6.2f} "
+            f"{counts.false_positive_rate:8.3f} {latency(lat):>8} {len(alarms):>7}"
+        )
+    return "\n".join(lines)

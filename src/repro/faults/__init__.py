@@ -1,0 +1,59 @@
+"""The six injected faults of the paper's Table 2, plus the catalog.
+
+``FAULT_CATALOG`` maps the names used throughout the evaluation
+(CPUHog, DiskHog, PacketLoss, HADOOP-1036, HADOOP-1152, HADOOP-2080) to
+fault factories.
+"""
+
+from typing import Callable, Dict
+
+from .base import Fault, FaultSpec
+from .bugs import MapHang1036, ReduceHang2080, ShuffleFail1152
+from .resource import GB, CpuHog, DiskHog, PacketLoss
+
+#: Fault name -> zero-argument factory producing a default-configured fault.
+FAULT_CATALOG: Dict[str, Callable[[], Fault]] = {
+    "CPUHog": CpuHog,
+    "DiskHog": DiskHog,
+    "PacketLoss": PacketLoss,
+    "HADOOP-1036": MapHang1036,
+    "HADOOP-1152": ShuffleFail1152,
+    "HADOOP-2080": ReduceHang2080,
+}
+
+#: Canonical evaluation order (matches the paper's Figure 7 x-axis).
+FAULT_NAMES = (
+    "CPUHog",
+    "DiskHog",
+    "HADOOP-1036",
+    "HADOOP-1152",
+    "HADOOP-2080",
+    "PacketLoss",
+)
+
+
+def make_fault(name: str) -> Fault:
+    """Instantiate a fault from the catalog by its Table 2 name."""
+    try:
+        factory = FAULT_CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault {name!r} (catalog: {sorted(FAULT_CATALOG)})"
+        ) from None
+    return factory()
+
+
+__all__ = [
+    "CpuHog",
+    "DiskHog",
+    "FAULT_CATALOG",
+    "FAULT_NAMES",
+    "Fault",
+    "FaultSpec",
+    "GB",
+    "MapHang1036",
+    "PacketLoss",
+    "ReduceHang2080",
+    "ShuffleFail1152",
+    "make_fault",
+]

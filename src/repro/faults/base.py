@@ -1,0 +1,46 @@
+"""Fault-injection interface.
+
+A :class:`Fault` knows how to arm itself against a
+:class:`repro.hadoop.HadoopCluster` on a chosen node at a chosen time,
+and produces the :class:`repro.analysis.GroundTruth` the evaluation
+scores against.  The six concrete faults reproduce the paper's Table 2
+exactly -- see :mod:`repro.faults.resource` and :mod:`repro.faults.bugs`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.metrics import GroundTruth
+from ..hadoop.cluster import HadoopCluster
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Where and when a fault is injected."""
+
+    node: str
+    inject_time: float
+    clear_time: Optional[float] = None
+
+
+class Fault(abc.ABC):
+    """One injectable fault from the paper's Table 2."""
+
+    #: Catalog name, e.g. ``"CPUHog"`` or ``"HADOOP-1036"``.
+    name: str = ""
+    #: The reported failure this fault simulates (Table 2, middle column).
+    reported_failure: str = ""
+
+    @abc.abstractmethod
+    def arm(self, cluster: HadoopCluster, spec: FaultSpec) -> None:
+        """Register the fault with the cluster; takes effect at inject_time."""
+
+    def ground_truth(self, spec: FaultSpec) -> GroundTruth:
+        return GroundTruth(
+            faulty_node=spec.node,
+            inject_time=spec.inject_time,
+            clear_time=spec.clear_time,
+        )

@@ -1,0 +1,149 @@
+"""HDFS substrate: NameNode block management plus DataNode daemons.
+
+Follows the master/slave split of the Google File System as Hadoop 0.18
+implemented it (paper section 4.1): a single NameNode owns the namespace
+and block locations; a DataNode per slave stores replicas and logs every
+block read, write and deletion.  Those datanode log lines are one of the
+two white-box state sources the log parser consumes (ReadBlock,
+WriteBlock, DeleteBlock states).
+
+Job *input* blocks are materialized directly onto datanodes when a job
+is submitted -- in the real GridMix run a separate data-generation job
+wrote them beforehand, which is outside the measured window.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .logs import DATANODE_CLASS, DaemonLog
+
+
+@dataclass
+class Block:
+    """One HDFS block and where its replicas live."""
+
+    block_id: int
+    size: float
+    replicas: List[str] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return f"blk_{self.block_id}"
+
+
+class DataNode:
+    """The block-storage daemon on one slave node (log emission only).
+
+    Actual disk/network demands are raised by the activity doing the
+    I/O, attributed to this node; the DataNode's job here is to keep the
+    replica set and to write the exact log lines Hadoop writes.
+    """
+
+    def __init__(self, node: str, log: DaemonLog, ip: str) -> None:
+        self.node = node
+        self.log = log
+        self.ip = ip
+        self.blocks: Dict[int, Block] = {}
+
+    def store(self, block: Block) -> None:
+        self.blocks[block.block_id] = block
+
+    def has_block(self, block_id: int) -> bool:
+        return block_id in self.blocks
+
+    def log_serve(self, block: Block, reader_ip: str, now: float) -> None:
+        self.log.append(
+            now,
+            "INFO",
+            DATANODE_CLASS,
+            f"{self.ip}:50010 Served block {block.name} to /{reader_ip}",
+        )
+
+    def log_receive_start(self, block: Block, src_ip: str, now: float) -> None:
+        self.log.append(
+            now,
+            "INFO",
+            DATANODE_CLASS,
+            f"Receiving block {block.name} src: /{src_ip}:50010 "
+            f"dest: /{self.ip}:50010",
+        )
+
+    def log_receive_end(self, block: Block, src_ip: str, now: float) -> None:
+        self.log.append(
+            now,
+            "INFO",
+            DATANODE_CLASS,
+            f"Received block {block.name} of size {int(block.size)} from /{src_ip}",
+        )
+
+    def delete(self, block: Block, now: float) -> None:
+        self.blocks.pop(block.block_id, None)
+        self.log.append(
+            now,
+            "INFO",
+            DATANODE_CLASS,
+            f"Deleting block {block.name} file /hadoop/dfs/data/current/{block.name}",
+        )
+
+
+class NameNode:
+    """Block allocation, placement and location lookup."""
+
+    def __init__(
+        self,
+        datanodes: Dict[str, DataNode],
+        replication: int = 3,
+        seed: int = 0,
+    ) -> None:
+        self.datanodes = datanodes
+        self.replication = min(replication, len(datanodes)) if datanodes else replication
+        self.blocks: Dict[int, Block] = {}
+        self._ids = itertools.count(1000)
+        self._rng = np.random.default_rng(seed)
+
+    def allocate(self, size: float, preferred: Optional[str] = None) -> Block:
+        """Create a block and place its replicas.
+
+        Placement follows Hadoop's policy shape: first replica on the
+        preferred (writer-local) node when given, remaining replicas on
+        distinct randomly chosen other nodes.
+        """
+        nodes = list(self.datanodes)
+        if not nodes:
+            raise RuntimeError("no datanodes registered")
+        replicas: List[str] = []
+        if preferred is not None and preferred in self.datanodes:
+            replicas.append(preferred)
+        others = [n for n in nodes if n not in replicas]
+        self._rng.shuffle(others)
+        replicas.extend(others[: self.replication - len(replicas)])
+        block = Block(block_id=next(self._ids), size=size, replicas=replicas)
+        self.blocks[block.block_id] = block
+        for node in replicas:
+            self.datanodes[node].store(block)
+        return block
+
+    def materialize_input(
+        self, sizes: Sequence[float]
+    ) -> List[Block]:
+        """Create pre-existing input blocks (no preferred writer)."""
+        return [self.allocate(size) for size in sizes]
+
+    def choose_read_replica(self, block: Block, reader: str) -> str:
+        """Pick the replica a reader fetches from (local wins)."""
+        if reader in block.replicas:
+            return reader
+        index = int(self._rng.integers(0, len(block.replicas)))
+        return block.replicas[index]
+
+    def delete_block(self, block: Block, now: float) -> None:
+        self.blocks.pop(block.block_id, None)
+        for node in block.replicas:
+            datanode = self.datanodes.get(node)
+            if datanode is not None and datanode.has_block(block.block_id):
+                datanode.delete(block, now)

@@ -1,0 +1,90 @@
+"""MapReduce job descriptions.
+
+A :class:`JobSpec` carries everything the JobTracker needs to run a job:
+input size (mapped to HDFS blocks, one map task per block), reduce count,
+and the per-job-type cost model (how many MB one CPU-second processes in
+each phase, how much intermediate/output data each phase emits).  The
+GridMix-like workload generator (:mod:`repro.workloads.gridmix`)
+instantiates these from its five job classes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+#: HDFS block size (Hadoop 0.18 default), bytes.
+BLOCK_SIZE = 64 * 1024 * 1024
+
+MB = 1024.0 * 1024.0
+
+
+class TaskKind(enum.Enum):
+    MAP = "m"
+    REDUCE = "r"
+
+
+@dataclass(frozen=True)
+class JobCostModel:
+    """Per-job-type resource cost coefficients.
+
+    Throughputs are MB of data one CPU-core-second pushes through that
+    phase; ratios size each phase's output relative to its input.
+    """
+
+    #: MB of input one core-second of map work consumes.
+    map_mb_per_cpu_s: float = 10.0
+    #: Map output bytes as a fraction of map input bytes.
+    map_output_ratio: float = 1.0
+    #: MB of shuffled data one core-second of sort work merges.
+    sort_mb_per_cpu_s: float = 25.0
+    #: MB of shuffled data one core-second of reduce work consumes.
+    reduce_mb_per_cpu_s: float = 12.0
+    #: Job output bytes as a fraction of reduce input bytes.
+    reduce_output_ratio: float = 1.0
+    #: Cores one running task attempt demands.
+    task_cpu_cores: float = 1.0
+    #: Resident set of one task attempt JVM, kB.
+    task_rss_kb: float = 200.0 * 1024.0
+
+
+@dataclass
+class JobSpec:
+    """One MapReduce job submission."""
+
+    job_id: str
+    name: str
+    input_bytes: float
+    num_reduces: int
+    cost: JobCostModel = field(default_factory=JobCostModel)
+    submit_time: float = 0.0
+
+    @property
+    def num_maps(self) -> int:
+        """One map task per HDFS block of input."""
+        return max(1, int((self.input_bytes + BLOCK_SIZE - 1) // BLOCK_SIZE))
+
+    def map_input_bytes(self, map_index: int) -> float:
+        """Input size of one map: a full block except possibly the last."""
+        full_maps = int(self.input_bytes // BLOCK_SIZE)
+        if map_index < full_maps:
+            return float(BLOCK_SIZE)
+        remainder = self.input_bytes - full_maps * BLOCK_SIZE
+        return float(remainder) if remainder > 0 else float(BLOCK_SIZE)
+
+
+def task_id(job_id: str, kind: TaskKind, index: int, attempt: int) -> str:
+    """Render a Hadoop 0.18-style task attempt id."""
+    return f"task_{job_id}_{kind.value}_{index:06d}_{attempt}"
+
+
+def parse_task_id(text: str) -> "tuple[str, TaskKind, int, int]":
+    """Parse ``task_<job>_<m|r>_<index>_<attempt>`` back into parts."""
+    if not text.startswith("task_"):
+        raise ValueError(f"not a task id: {text!r}")
+    body = text[len("task_"):]
+    parts = body.rsplit("_", 3)
+    if len(parts) != 4:
+        raise ValueError(f"malformed task id: {text!r}")
+    job_id, kind_text, index_text, attempt_text = parts
+    return job_id, TaskKind(kind_text), int(index_text), int(attempt_text)

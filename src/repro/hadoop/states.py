@@ -1,0 +1,40 @@
+"""Hadoop execution states inferred from logs (paper section 4.4).
+
+Each thread of execution in Hadoop is approximated by a DFA whose states
+are the high-level modes of execution; log entries mark state-entrance,
+state-exit or instant events.  The white-box metric vector for a node at
+one time instant counts how many instances of each state are
+simultaneously live (or, for instant states, how many occurred in that
+second).
+
+TaskTracker states come from the MapReduce lifecycle, DataNode states
+from the block lifecycle -- "some important states for the tasktracker
+are Map and Reduce tasks, while some important states for the datanode
+are those for the data-block reads and writes".
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: States counted as *concurrently live* on the tasktracker.
+TASKTRACKER_STATES: Tuple[str, ...] = (
+    "MapTask",
+    "ReduceTask",
+    "ReduceCopy",
+    "ReduceSort",
+    "ReduceReduce",
+)
+
+#: States counted on the datanode; WriteBlock is interval-valued,
+#: ReadBlock and DeleteBlock are instant events (occurrences/second).
+DATANODE_STATES: Tuple[str, ...] = (
+    "WriteBlock",
+    "ReadBlock",
+    "DeleteBlock",
+)
+
+#: The full white-box state vector, in canonical order.
+WHITEBOX_STATES: Tuple[str, ...] = TASKTRACKER_STATES + DATANODE_STATES
+
+WHITEBOX_STATE_INDEX = {name: i for i, name in enumerate(WHITEBOX_STATES)}

@@ -1,0 +1,96 @@
+"""Shared plumbing for the analysis modules: timed windows, cross-node
+window alignment, and consecutive-anomaly counting.
+
+The two peer-comparison analyses (black-box and white-box) share the
+same skeleton: per-node per-second samples are windowed, one window per
+node is compared against the peers' windows, and a node is fingerpointed
+only after several consecutive anomalous windows (the paper needed "at
+least 3 consecutive windows to gain confidence in our detection").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+class TimedWindow:
+    """A streaming window that remembers sample timestamps.
+
+    Emits ``(start_time, end_time, matrix)`` for every completed window,
+    where ``matrix`` has shape (size, n_metrics).
+    """
+
+    def __init__(self, size: int, slide: int) -> None:
+        if size <= 0 or slide <= 0 or slide > size:
+            raise ValueError(f"bad window geometry: size={size}, slide={slide}")
+        self.size = size
+        self.slide = slide
+        self._times: List[float] = []
+        self._values: List[np.ndarray] = []
+
+    def push(self, timestamp: float, value) -> List[Tuple[float, float, np.ndarray]]:
+        self._times.append(float(timestamp))
+        self._values.append(np.atleast_1d(np.asarray(value, dtype=float)))
+        completed = []
+        while len(self._values) >= self.size:
+            matrix = np.array(self._values[: self.size])
+            completed.append((self._times[0], self._times[self.size - 1], matrix))
+            del self._times[: self.slide]
+            del self._values[: self.slide]
+        return completed
+
+
+class WindowAligner:
+    """Aligns completed windows across nodes by window index.
+
+    Each node's window stream is pushed in independently; a *round* --
+    one window from every node, all with the same index -- is released
+    as soon as it is complete.  Peer comparison is only meaningful on
+    complete rounds.
+    """
+
+    def __init__(self, nodes: Sequence[str]) -> None:
+        self.nodes = list(nodes)
+        self._queues: Dict[str, List[Tuple[float, float, np.ndarray]]] = {
+            node: [] for node in self.nodes
+        }
+
+    def push(
+        self, node: str, windows: List[Tuple[float, float, np.ndarray]]
+    ) -> List[Dict[str, Tuple[float, float, np.ndarray]]]:
+        self._queues[node].extend(windows)
+        rounds = []
+        while all(self._queues[n] for n in self.nodes):
+            rounds.append({n: self._queues[n].pop(0) for n in self.nodes})
+        return rounds
+
+
+class ConsecutiveCounter:
+    """Fires once a node has been anomalous N windows in a row.
+
+    ``update`` returns the set of nodes that *cross* the confidence
+    threshold this round (an already-firing node keeps firing each round
+    while it stays anomalous; callers decide whether to re-alert).
+    """
+
+    def __init__(self, nodes: Sequence[str], required: int) -> None:
+        if required < 1:
+            raise ValueError(f"required consecutive count must be >= 1: {required}")
+        self.required = required
+        self._streaks: Dict[str, int] = {node: 0 for node in nodes}
+
+    def update(self, anomalous: Dict[str, bool]) -> List[str]:
+        fired = []
+        for node, is_anomalous in anomalous.items():
+            if is_anomalous:
+                self._streaks[node] = self._streaks.get(node, 0) + 1
+                if self._streaks[node] >= self.required:
+                    fired.append(node)
+            else:
+                self._streaks[node] = 0
+        return fired
+
+    def streak(self, node: str) -> int:
+        return self._streaks.get(node, 0)

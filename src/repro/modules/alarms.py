@@ -1,0 +1,77 @@
+"""Alarm sinks and combinators.
+
+* ``print`` -- the terminal sink from the paper's Figures 3/4
+  (``DataNodeAlarm``/``BlackBoxAlarm``): records, and optionally prints,
+  everything that reaches it.
+* ``alarm_union`` -- merges several alarm streams into one, implementing
+  the paper's *combined* black-box + white-box fingerpointer ("combining
+  the outputs of the white-box and black-box analysis yielded a modest
+  improvement").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis.metrics import Alarm
+from ..core import Module, RunReason, Sample
+
+
+class PrintModule(Module):
+    """Terminal sink: collect (and optionally echo) incoming samples."""
+
+    type_name = "print"
+
+    def init(self) -> None:
+        ctx = self.ctx
+        if not ctx.inputs:
+            from ..core.errors import ConfigError
+
+            raise ConfigError(f"print '{ctx.instance_id}': no inputs wired")
+        self.quiet = ctx.param_bool("quiet", True)
+        self.prefix = ctx.param_str("prefix", ctx.instance_id)
+        self.received: List[Sample] = []
+        ctx.trigger_after_updates(1)
+
+    @property
+    def alarms(self) -> List[Alarm]:
+        """The Alarm-typed subset of everything received."""
+        return [s.value for s in self.received if isinstance(s.value, Alarm)]
+
+    def run(self, reason: RunReason) -> None:
+        for group in self.ctx.inputs.values():
+            for connection in group:
+                for sample in connection.pop_all():
+                    self.received.append(sample)
+                    if not self.quiet:
+                        value = sample.value
+                        text = (
+                            value.describe()
+                            if isinstance(value, Alarm)
+                            else repr(value)
+                        )
+                        print(f"[{self.prefix}] {text}")
+
+
+class AlarmUnionModule(Module):
+    """Forward alarms from any input onto one combined output."""
+
+    type_name = "alarm_union"
+
+    def init(self) -> None:
+        ctx = self.ctx
+        if not ctx.inputs:
+            from ..core.errors import ConfigError
+
+            raise ConfigError(f"alarm_union '{ctx.instance_id}': no inputs wired")
+        self.out = ctx.create_output("alarms")
+        self.forwarded = 0
+        ctx.trigger_after_updates(1)
+
+    def run(self, reason: RunReason) -> None:
+        for group in self.ctx.inputs.values():
+            for connection in group:
+                for sample in connection.pop_all():
+                    if isinstance(sample.value, Alarm):
+                        self.out.write(sample.value, sample.timestamp)
+                        self.forwarded += 1

@@ -1,0 +1,162 @@
+"""The ``analysis_bb`` black-box peer-comparison module (paper section 4.5).
+
+Consumes per-second 1-NN state indices for every monitored node (one
+input connection per node, usually via ``ibuffer`` batches).  Over each
+window of ``window`` samples it builds a per-node **StateVector** -- the
+histogram of state occupancies -- computes the component-wise median
+vector across nodes, and flags node ``j`` anomalous when the L1 distance
+``|StateVector_j - medianStateVector|`` exceeds the threshold.  A node is
+fingerpointed after ``consecutive`` anomalous windows in a row ("it took
+at least 3 consecutive windows to gain confidence in our detection").
+
+Configuration::
+
+    [analysis_bb]
+    id = analysis
+    threshold = 60
+    window = 60
+    slide = 60
+    consecutive = 3
+    num_states = 7
+    input[l0] = @buf0
+    input[l1] = @buf1
+    ...
+
+Outputs:
+
+* ``alarms`` -- an :class:`repro.analysis.Alarm` per fingerpointing;
+* ``decisions`` -- a list of :class:`repro.analysis.WindowDecision` per
+  completed window round (consumed by the evaluation harness).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..analysis.metrics import Alarm, WindowDecision
+from ..analysis.peer import state_histogram, state_vector_l1_deviation
+from ..core import Module, RunReason
+from ..core.errors import ConfigError
+from ._window_sync import ConsecutiveCounter, TimedWindow, WindowAligner
+
+
+class BlackBoxAnalysisModule(Module):
+    type_name = "analysis_bb"
+
+    def init(self) -> None:
+        ctx = self.ctx
+        self.threshold = ctx.param_float("threshold")
+        window = ctx.param_int("window", 60)
+        slide = ctx.param_int("slide", window)
+        self.consecutive = ctx.param_int("consecutive", 3)
+        self.num_states = ctx.param_int("num_states")
+
+        self.connections: Dict[str, object] = {}
+        for group in ctx.inputs.values():
+            for connection in group:
+                origin = connection.origin
+                node = origin.node if origin is not None else ""
+                if not node:
+                    raise ConfigError(
+                        f"analysis_bb '{ctx.instance_id}': input connection "
+                        f"without node origin (wire it from sadc/knn outputs)"
+                    )
+                if node in self.connections:
+                    raise ConfigError(
+                        f"analysis_bb '{ctx.instance_id}': two inputs for "
+                        f"node '{node}'"
+                    )
+                self.connections[node] = connection
+        if len(self.connections) < 3:
+            raise ConfigError(
+                f"analysis_bb '{ctx.instance_id}': peer comparison needs at "
+                f"least 3 nodes, got {len(self.connections)}"
+            )
+        self.nodes = sorted(self.connections)
+        self._windows = {node: TimedWindow(window, slide) for node in self.nodes}
+        self._aligner = WindowAligner(self.nodes)
+        self._counter = ConsecutiveCounter(self.nodes, self.consecutive)
+        self.alarms_out = ctx.create_output("alarms")
+        self.decisions_out = ctx.create_output("decisions")
+        # Raw per-round statistics, for offline threshold sweeps: a dict
+        # with the node list, each node's L1 deviation and window bounds.
+        self.stats_out = ctx.create_output("stats")
+        self.rounds_processed = 0
+        ctx.trigger_after_updates(len(self.connections))
+
+    def run(self, reason: RunReason) -> None:
+        rounds = []
+        for node in self.nodes:
+            completed = []
+            for sample in self.connections[node].pop_all():
+                values = sample.value if isinstance(sample.value, list) else [sample.value]
+                # A batched sample (from ibuffer) carries the timestamp of
+                # its *last* element; earlier elements are one collection
+                # interval apart.
+                base = sample.timestamp - (len(values) - 1)
+                for offset, value in enumerate(values):
+                    completed.extend(
+                        self._windows[node].push(base + offset, float(value))
+                    )
+            rounds.extend(self._aligner.push(node, completed))
+        for window_round in rounds:
+            self._process_round(window_round)
+
+    def _process_round(self, window_round) -> None:
+        histograms = np.array(
+            [
+                state_histogram(
+                    np.clip(
+                        window_round[node][2].ravel().astype(int),
+                        0,
+                        self.num_states - 1,
+                    ),
+                    self.num_states,
+                )
+                for node in self.nodes
+            ]
+        )
+        deviations = state_vector_l1_deviation(histograms)
+        anomalous = {
+            node: bool(dev > self.threshold)
+            for node, dev in zip(self.nodes, deviations)
+        }
+        fired = set(self._counter.update(anomalous))
+        now = self.ctx.clock.now()
+        decisions: List[WindowDecision] = []
+        for node, deviation in zip(self.nodes, deviations):
+            start, end, _ = window_round[node]
+            decisions.append(
+                WindowDecision(
+                    node=node,
+                    window_start=start,
+                    window_end=end + 1.0,
+                    alarmed=node in fired,
+                )
+            )
+            if node in fired:
+                self.alarms_out.write(
+                    Alarm(
+                        time=now,
+                        node=node,
+                        source="blackbox",
+                        detail=f"L1 deviation {deviation:.1f} > {self.threshold:.1f}",
+                    ),
+                    now,
+                )
+        self.decisions_out.write(decisions, now)
+        self.stats_out.write(
+            {
+                "nodes": list(self.nodes),
+                "deviations": [float(d) for d in deviations],
+                "histograms": histograms,
+                "windows": {
+                    node: (window_round[node][0], window_round[node][1] + 1.0)
+                    for node in self.nodes
+                },
+            },
+            now,
+        )
+        self.rounds_processed += 1

@@ -1,0 +1,72 @@
+"""The ``knn`` analysis module (paper section 3.6).
+
+"The knn (k-nearest neighbors) module is used to match sample points
+with centroids corresponding to known system states.  It takes as
+configuration parameters k, a list of centroids, and a standard
+deviation vector ... For each input sample s, a vector s' is computed as
+``s'_i = log(1 + s_i) / sigma_i`` and the Euclidean distance between s'
+and each centroid is computed.  The indices of the k nearest centroids
+to s' in the configuration are output."
+
+The centroids and sigma vector come from offline k-means training on
+fault-free data; they are resolved through a service named by the
+``model`` parameter, which must provide ``centroids`` (k x d array) and
+``sigma`` (length-d array).  With the default ``k = 1`` the output is
+the single nearest state index (the 1-NN workload classification of the
+black-box fingerpointer).
+
+Configuration::
+
+    [knn]
+    id = onenn0
+    input[input] = sadc_slave01.vector
+    model = bb_model
+    k = 1
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import Module, RunReason
+from ..core.errors import ConfigError
+from ..analysis.kmeans import nearest_k
+
+
+class KnnModule(Module):
+    type_name = "knn"
+
+    def init(self) -> None:
+        ctx = self.ctx
+        self.connection = ctx.input("input").single()
+        self.k = ctx.param_int("k", 1)
+        model = ctx.service(ctx.param_str("model", "bb_model"))
+        self.centroids = np.asarray(model.centroids, dtype=float)
+        self.sigma = np.asarray(model.sigma, dtype=float)
+        if self.centroids.ndim != 2:
+            raise ConfigError(
+                f"knn '{ctx.instance_id}': centroids must be 2-D, got shape "
+                f"{self.centroids.shape}"
+            )
+        if self.sigma.shape != (self.centroids.shape[1],):
+            raise ConfigError(
+                f"knn '{ctx.instance_id}': sigma shape {self.sigma.shape} does "
+                f"not match centroid dimension {self.centroids.shape[1]}"
+            )
+        if not 1 <= self.k <= self.centroids.shape[0]:
+            raise ConfigError(
+                f"knn '{ctx.instance_id}': k={self.k} out of range "
+                f"[1, {self.centroids.shape[0]}]"
+            )
+        self.out = ctx.create_output("output0", self.connection.origin)
+        self.samples_classified = 0
+        ctx.trigger_after_updates(1)
+
+    def run(self, reason: RunReason) -> None:
+        for sample in self.connection.pop_all():
+            raw = np.asarray(sample.value, dtype=float)
+            scaled = np.log1p(np.maximum(raw, 0.0)) / self.sigma
+            indices = nearest_k(scaled, self.centroids, self.k)
+            value = int(indices[0]) if self.k == 1 else [int(i) for i in indices]
+            self.out.write(value, sample.timestamp)
+            self.samples_classified += 1

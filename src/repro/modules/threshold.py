@@ -1,0 +1,94 @@
+"""The ``threshold_alarm`` rule-based analysis module.
+
+The frameworks ASDF positions itself against (Table 1: Ganglia, Nagios,
+Tivoli) are mostly *rule-based*: alert when a metric crosses a bound.
+That style of check is a one-module plug-in here, useful both on its own
+(oversubscribed-resource alerts) and as a baseline next to the peer
+comparison analyses.
+
+Configuration::
+
+    [threshold_alarm]
+    id = cpu_rule
+    input[m] = sadc_slave01.cpu_user_pct
+    bound = 90.0
+    direction = above       ; or "below"
+    consecutive = 3         ; samples in a row before alarming
+
+The input's origin attributes the alarm to a node.  Vector-valued
+samples are reduced with ``reduce = max|min|mean`` first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.metrics import Alarm
+from ..core import Module, RunReason
+from ..core.errors import ConfigError
+
+_REDUCERS = {"max": np.max, "min": np.min, "mean": np.mean}
+
+
+class ThresholdAlarmModule(Module):
+    type_name = "threshold_alarm"
+
+    def init(self) -> None:
+        ctx = self.ctx
+        self.connection = ctx.input("m").single()
+        origin = self.connection.origin
+        self.node = origin.node if origin is not None else ""
+        self.metric = origin.describe() if origin is not None else "<input>"
+        self.bound = ctx.param_float("bound")
+        direction = ctx.param_str("direction", "above")
+        if direction not in ("above", "below"):
+            raise ConfigError(
+                f"threshold_alarm '{ctx.instance_id}': direction must be "
+                f"'above' or 'below', got {direction!r}"
+            )
+        self.direction = direction
+        self.consecutive = ctx.param_int("consecutive", 1)
+        if self.consecutive < 1:
+            raise ConfigError(
+                f"threshold_alarm '{ctx.instance_id}': consecutive must be >= 1"
+            )
+        reducer_name = ctx.param_str("reduce", "max")
+        try:
+            self._reduce = _REDUCERS[reducer_name]
+        except KeyError:
+            raise ConfigError(
+                f"threshold_alarm '{ctx.instance_id}': unknown reduce "
+                f"{reducer_name!r} (choose from {sorted(_REDUCERS)})"
+            ) from None
+        self._streak = 0
+        self.alarms_out = ctx.create_output("alarms")
+        self.samples_checked = 0
+        ctx.trigger_after_updates(1)
+
+    def _violates(self, value: float) -> bool:
+        if self.direction == "above":
+            return value > self.bound
+        return value < self.bound
+
+    def run(self, reason: RunReason) -> None:
+        for sample in self.connection.pop_all():
+            value = float(self._reduce(np.atleast_1d(np.asarray(sample.value, dtype=float))))
+            self.samples_checked += 1
+            if self._violates(value):
+                self._streak += 1
+                if self._streak >= self.consecutive:
+                    self.alarms_out.write(
+                        Alarm(
+                            time=sample.timestamp,
+                            node=self.node,
+                            source="rule",
+                            detail=(
+                                f"{self.metric} {value:.2f} "
+                                f"{self.direction} {self.bound:.2f} "
+                                f"for {self._streak} samples"
+                            ),
+                        ),
+                        sample.timestamp,
+                    )
+            else:
+                self._streak = 0

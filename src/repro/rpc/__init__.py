@@ -1,0 +1,57 @@
+"""RPC substrate: per-node collection daemons and their transports.
+
+Replaces the paper's ZeroC ICE deployment.  TCP transport
+(:class:`RpcServer`/:class:`RpcClient`) for online production use; the
+in-process channel (:class:`InprocChannel`) for simulation, encoding
+every frame identically so byte accounting matches the wire.
+"""
+
+from .client import RpcClient
+from .daemons import LOG_PARSER_LAG_S, HadoopLogDaemon, SadcDaemon
+from .inproc import InprocChannel
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    SEGMENT_PAYLOAD_BYTES,
+    TCP_HANDSHAKE_WIRE_BYTES,
+    WIRE_HEADER_BYTES,
+    ByteCounter,
+    ProtocolError,
+    RemoteError,
+    decode_frame,
+    encode_frame,
+    make_error,
+    make_hello,
+    make_request,
+    make_response,
+    make_welcome,
+    wire_bytes,
+)
+from .server import RpcServer, dispatch, handler_methods
+
+__all__ = [
+    "ByteCounter",
+    "HadoopLogDaemon",
+    "InprocChannel",
+    "LOG_PARSER_LAG_S",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RemoteError",
+    "RpcClient",
+    "RpcServer",
+    "SEGMENT_PAYLOAD_BYTES",
+    "SadcDaemon",
+    "TCP_HANDSHAKE_WIRE_BYTES",
+    "WIRE_HEADER_BYTES",
+    "decode_frame",
+    "dispatch",
+    "encode_frame",
+    "handler_methods",
+    "make_error",
+    "make_hello",
+    "make_request",
+    "make_response",
+    "make_welcome",
+    "wire_bytes",
+]

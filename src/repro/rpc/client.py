@@ -1,0 +1,86 @@
+"""TCP RPC client used by the fpt-core collection modules.
+
+One client per monitored daemon, mirroring the paper's deployment: the
+ASDF control node holds a connection to every slave's ``sadc_rpcd`` and
+``hadoop_log_rpcd``.  All traffic is byte-counted so the Table 4
+bandwidth reproduction can read the numbers straight off the client.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Any, Dict, List, Tuple
+
+from .protocol import (
+    ByteCounter,
+    ProtocolError,
+    RemoteError,
+    decode_frame,
+    encode_frame,
+    make_hello,
+    make_request,
+)
+
+
+class RpcClient:
+    """Synchronous request/response client over one TCP connection."""
+
+    def __init__(self, host: str, port: int, client_name: str = "asdf") -> None:
+        self.counter = ByteCounter()
+        self._ids = itertools.count(1)
+        self._sock = socket.create_connection((host, port), timeout=30.0)
+        self.counter.count_handshake()
+        hello = encode_frame(make_hello(client_name))
+        self._sock.sendall(hello)
+        self.counter.count_tx(len(hello), static=True)
+        welcome, consumed = self._read_frame()
+        self.counter.count_rx(consumed, static=True)
+        if "welcome" not in welcome:
+            raise ProtocolError(f"expected welcome, got {welcome!r}")
+        self.service: str = welcome["welcome"]
+        self.methods: List[str] = list(welcome.get("methods", []))
+
+    def _read_frame(self) -> Tuple[Dict[str, Any], int]:
+        header = b""
+        while len(header) < 4:
+            chunk = self._sock.recv(4 - len(header))
+            if not chunk:
+                raise ProtocolError("connection closed before frame")
+            header += chunk
+        (length,) = __import__("struct").unpack(">I", header)
+        body = b""
+        while len(body) < length:
+            chunk = self._sock.recv(min(65536, length - len(body)))
+            if not chunk:
+                raise ProtocolError("connection closed mid-frame")
+            body += chunk
+        return decode_frame(header + body)
+
+    def call(self, method: str, **params: Any) -> Any:
+        """Invoke ``method`` on the remote handler and return its result."""
+        request_id = next(self._ids)
+        frame = encode_frame(make_request(request_id, method, params))
+        self._sock.sendall(frame)
+        self.counter.count_tx(len(frame))
+        response, consumed = self._read_frame()
+        self.counter.count_rx(consumed)
+        if response.get("id") != request_id:
+            raise ProtocolError(
+                f"response id {response.get('id')} != request id {request_id}"
+            )
+        if "error" in response:
+            raise RemoteError(response["error"])
+        return response.get("result")
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RpcClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,168 @@
+"""The two per-node collection daemons: ``sadc_rpcd`` and ``hadoop_log_rpcd``.
+
+Each monitored slave runs both daemons (paper section 4.3); the ASDF
+control node polls them once per second.  ``sadc_rpcd`` wraps the
+libsadc sampler over the node's ``/proc``; ``hadoop_log_rpcd`` wraps the
+lazy log parser and returns per-second white-box state vectors.
+
+Both daemons keep a running account of the CPU time they consume
+(``cpu_seconds``), which is what the Table 3 overhead benchmark reports.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from ..hadoop.log_parser import NodeLogParser
+from ..hadoop.logs import DaemonLog
+from ..sysstat.metrics import NIC_METRICS, NODE_METRICS, PROCESS_METRICS
+from ..sysstat.procfs import SimProcFS
+from ..sysstat.sadc import Sadc
+
+#: Seconds the log parser lags behind real time: Hadoop buffers log
+#: writes, and some statistics resolve only one or two iterations later
+#: (paper section 3.7).
+LOG_PARSER_LAG_S = 2
+
+
+class _CpuMeter:
+    """Accumulates process CPU time spent inside RPC handlers."""
+
+    def __init__(self) -> None:
+        self.cpu_seconds = 0.0
+        self.calls = 0
+
+    def __enter__(self) -> "_CpuMeter":
+        self._t0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.cpu_seconds += time.process_time() - self._t0
+        self.calls += 1
+
+
+class SadcDaemon:
+    """``sadc_rpcd``: expose libsadc samples of one node's ``/proc``."""
+
+    def __init__(self, node: str, procfs: SimProcFS) -> None:
+        self.node = node
+        self._sadc = Sadc(procfs)
+        self.meter = _CpuMeter()
+
+    def rpc_list_metrics(self) -> Dict[str, List[str]]:
+        """The metric catalogs, for client-side schema discovery."""
+        return {
+            "node": list(NODE_METRICS),
+            "nic": list(NIC_METRICS),
+            "process": list(PROCESS_METRICS),
+        }
+
+    def rpc_sample(self, now: float) -> Optional[Dict[str, Any]]:
+        """One collection iteration; ``None`` on the priming call."""
+        with self.meter:
+            sample = self._sadc.collect(float(now))
+            if sample is None:
+                return None
+            return {
+                "timestamp": sample.timestamp,
+                "node": sample.node,
+                "nics": sample.nics,
+                "processes": {str(pid): m for pid, m in sample.processes.items()},
+            }
+
+
+class HadoopLogDaemon:
+    """``hadoop_log_rpcd``: lazy log parsing into state-vector series.
+
+    Incrementally tails one Hadoop daemon's log (tasktracker *or*
+    datanode -- the paper runs these as separate RPC types, ``hl-tt`` and
+    ``hl-dn`` in Table 4), feeds the SALSA-style parser, and returns the
+    per-second state vectors that have become *stable* (older than the
+    parser lag).  A cursor ensures each second is returned exactly once;
+    consumed history is pruned.
+
+    The emitted vector always spans the full 8-state catalog; states the
+    daemon's log cannot populate stay zero, so per-node vectors from the
+    tasktracker and datanode daemons can simply be summed.
+    """
+
+    def __init__(self, node: str, *logs: DaemonLog) -> None:
+        if not logs:
+            raise ValueError("HadoopLogDaemon needs at least one log to tail")
+        self.node = node
+        self._logs = tuple(logs)
+        self._offsets = [0] * len(self._logs)
+        self._parser = NodeLogParser(node)
+        self._cursor = 0  # next second to emit
+        self.meter = _CpuMeter()
+
+    def _feed_new_lines(self) -> None:
+        for index, log in enumerate(self._logs):
+            records, self._offsets[index] = log.read_from(self._offsets[index])
+            for record in records:
+                self._parser.feed_line(record.line)
+
+    def rpc_collect(self, now: float) -> Dict[str, Any]:
+        """Return state vectors for all newly stable seconds.
+
+        ``now`` is the collection time at the control node; seconds up to
+        ``now - LOG_PARSER_LAG_S`` (exclusive) are considered stable.
+        """
+        with self.meter:
+            self._feed_new_lines()
+            stable_end = int(now) - LOG_PARSER_LAG_S
+            seconds = list(range(self._cursor, max(self._cursor, stable_end)))
+            vectors = [
+                [float(x) for x in self._parser.state_vector(s)] for s in seconds
+            ]
+            if seconds:
+                self._cursor = seconds[-1] + 1
+                self._parser.prune(float(self._cursor))
+            watermark = self._parser.watermark()
+            return {
+                "seconds": seconds,
+                "vectors": vectors,
+                "watermark": watermark if watermark is not None else -1.0,
+            }
+
+    def rpc_stats(self) -> Dict[str, Any]:
+        return {
+            "lines_parsed": self._parser.lines_parsed,
+            "lines_skipped": self._parser.lines_skipped,
+            "cursor": self._cursor,
+        }
+
+
+class StraceDaemon:
+    """``strace_rpcd``: per-node syscall tracing (paper section 5).
+
+    "We are currently developing new ASDF modules, including a strace
+    module that tracks all of the system calls made by a given process."
+    The daemon reports per-second syscall category counts, either summed
+    across all traced processes (the node-level view the anomaly model
+    consumes) or broken out per pid.
+    """
+
+    def __init__(self, node: str, procfs, seed: int = 0) -> None:
+        from ..sysstat.syscalls import SYSCALL_CATEGORIES, SyscallTracer
+
+        self.node = node
+        self._tracer = SyscallTracer(procfs, seed=seed)
+        self._categories = list(SYSCALL_CATEGORIES)
+        self.meter = _CpuMeter()
+
+    def rpc_categories(self):
+        """The syscall categories, in vector order."""
+        return list(self._categories)
+
+    def rpc_trace(self, now: float):
+        """Node-wide syscall counts since the previous call.
+
+        ``None`` on the priming call, like sadc's first sample.
+        """
+        with self.meter:
+            total = self._tracer.trace_total(float(now))
+            if total is None:
+                return None
+            return [float(x) for x in total]

@@ -1,0 +1,58 @@
+"""In-process RPC channel: same wire format, no sockets.
+
+Simulated experiments collect from hundreds of virtual daemons per run;
+real TCP round-trips would add nothing but wall-clock time.  The
+in-process channel still *encodes and decodes every frame* and counts
+bytes identically to the TCP path, so bandwidth measurements (Table 4)
+are the same regardless of transport -- only the kernel is skipped.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, List
+
+from .protocol import (
+    ByteCounter,
+    RemoteError,
+    decode_frame,
+    encode_frame,
+    make_hello,
+    make_request,
+    make_welcome,
+)
+from .server import dispatch, handler_methods
+
+
+class InprocChannel:
+    """Client-side facade calling a handler object through full codec."""
+
+    def __init__(self, handler: Any, service: str, client_name: str = "asdf") -> None:
+        self.handler = handler
+        self.service = service
+        self.counter = ByteCounter()
+        self._ids = itertools.count(1)
+        # Perform the same hello/welcome exchange as the TCP transport so
+        # static overhead is accounted identically.
+        self.counter.count_handshake()
+        hello = encode_frame(make_hello(client_name))
+        self.counter.count_tx(len(hello), static=True)
+        welcome = encode_frame(make_welcome(service, handler_methods(handler)))
+        payload, consumed = decode_frame(welcome)
+        self.counter.count_rx(consumed, static=True)
+        self.methods: List[str] = list(payload.get("methods", []))
+
+    def call(self, method: str, **params: Any) -> Any:
+        request_id = next(self._ids)
+        frame = encode_frame(make_request(request_id, method, params))
+        self.counter.count_tx(len(frame))
+        request, _ = decode_frame(frame)
+        response_frame = encode_frame(dispatch(self.handler, request))
+        response, consumed = decode_frame(response_frame)
+        self.counter.count_rx(consumed)
+        if "error" in response:
+            raise RemoteError(response["error"])
+        return response.get("result")
+
+    def close(self) -> None:
+        """No-op, for interface parity with :class:`RpcClient`."""

@@ -1,0 +1,154 @@
+"""Wire protocol for the ASDF collection daemons.
+
+The paper used ZeroC's ICE to fetch statistics from per-node daemons
+(``sadc_rpcd``, ``hadoop_log_rpcd``).  This substitute is a minimal
+request/response protocol -- length-prefixed UTF-8 JSON over a byte
+stream -- with explicit *byte accounting*, because Table 4 of the paper
+reports exactly those numbers: static connection overhead and
+per-iteration bandwidth per RPC type.
+
+Framing: 4-byte big-endian payload length, then the JSON payload.
+Requests carry ``{"id", "method", "params"}``; responses carry
+``{"id", "result"}`` or ``{"id", "error"}``.  A connection starts with a
+hello/welcome exchange (protocol version + advertised methods), which is
+what the static-overhead column of Table 4 measures.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+PROTOCOL_VERSION = 1
+
+#: Maximum accepted frame payload, bytes (sanity bound against garbage).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+#: Ethernet + IPv4 + TCP header bytes per segment, used to estimate the
+#: on-the-wire cost of application payloads (Table 4 reports wire-level
+#: bandwidth, not just payload bytes).
+WIRE_HEADER_BYTES = 66
+#: TCP maximum segment payload assumed for segment-count estimation.
+SEGMENT_PAYLOAD_BYTES = 1448
+
+#: Approximate wire bytes of TCP connection setup + teardown
+#: (SYN, SYN/ACK, ACK + FIN, ACK, FIN, ACK), headers only.
+TCP_HANDSHAKE_WIRE_BYTES = 6 * WIRE_HEADER_BYTES
+
+
+class ProtocolError(Exception):
+    """Malformed frame or payload."""
+
+
+class RemoteError(Exception):
+    """The remote handler raised; message carries the remote detail."""
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """Serialize one message to its framed wire form."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame too large: {len(body)} bytes")
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_frame(data: bytes) -> Tuple[Dict[str, Any], int]:
+    """Decode one frame from the head of ``data``.
+
+    Returns (payload, total_bytes_consumed).  Raises
+    :class:`ProtocolError` on malformed input; raises ``IndexError``-like
+    short reads as ProtocolError too.
+    """
+    if len(data) < _LENGTH.size:
+        raise ProtocolError("short frame: missing length prefix")
+    (length,) = _LENGTH.unpack_from(data)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds maximum")
+    end = _LENGTH.size + length
+    if len(data) < end:
+        raise ProtocolError(f"short frame: need {end} bytes, have {len(data)}")
+    try:
+        payload = json.loads(data[_LENGTH.size:end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad frame payload: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return payload, end
+
+
+def wire_bytes(application_bytes: int) -> int:
+    """Estimated on-the-wire bytes for an application payload."""
+    if application_bytes <= 0:
+        return 0
+    segments = max(1, math.ceil(application_bytes / SEGMENT_PAYLOAD_BYTES))
+    return application_bytes + segments * WIRE_HEADER_BYTES
+
+
+def make_request(request_id: int, method: str, params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    return {"id": request_id, "method": method, "params": params or {}}
+
+
+def make_response(request_id: int, result: Any) -> Dict[str, Any]:
+    return {"id": request_id, "result": result}
+
+
+def make_error(request_id: int, message: str) -> Dict[str, Any]:
+    return {"id": request_id, "error": message}
+
+
+def make_hello(client_name: str) -> Dict[str, Any]:
+    return {"hello": client_name, "version": PROTOCOL_VERSION}
+
+
+def make_welcome(service: str, methods: "list[str]") -> Dict[str, Any]:
+    return {"welcome": service, "version": PROTOCOL_VERSION, "methods": methods}
+
+
+@dataclass
+class ByteCounter:
+    """Tracks application and estimated wire traffic of one endpoint."""
+
+    tx_payload: int = 0
+    rx_payload: int = 0
+    tx_wire: int = 0
+    rx_wire: int = 0
+    #: Bytes attributable to connection setup/teardown (hello/welcome
+    #: exchanges plus TCP handshake estimate).
+    static_wire: int = field(default=0)
+    messages_sent: int = 0
+    messages_received: int = 0
+
+    def count_tx(self, payload_bytes: int, static: bool = False) -> None:
+        self.tx_payload += payload_bytes
+        wire = wire_bytes(payload_bytes)
+        self.tx_wire += wire
+        self.messages_sent += 1
+        if static:
+            self.static_wire += wire
+
+    def count_rx(self, payload_bytes: int, static: bool = False) -> None:
+        self.rx_payload += payload_bytes
+        wire = wire_bytes(payload_bytes)
+        self.rx_wire += wire
+        self.messages_received += 1
+        if static:
+            self.static_wire += wire
+
+    def count_handshake(self) -> None:
+        self.static_wire += TCP_HANDSHAKE_WIRE_BYTES
+        self.tx_wire += TCP_HANDSHAKE_WIRE_BYTES // 2
+        self.rx_wire += TCP_HANDSHAKE_WIRE_BYTES // 2
+
+    @property
+    def total_wire(self) -> int:
+        return self.tx_wire + self.rx_wire
+
+    @property
+    def dynamic_wire(self) -> int:
+        """Wire bytes excluding connection setup/teardown."""
+        return max(0, self.total_wire - self.static_wire)

@@ -1,0 +1,148 @@
+"""Threaded TCP RPC server hosting a collection daemon handler.
+
+A handler is any object whose ``rpc_*`` methods implement the service:
+``rpc_sample(self, **params)`` is callable as method ``"sample"``.  The
+server answers each connection's hello with a welcome advertising the
+available methods, then serves requests until the peer disconnects.
+
+Used by the production-mode deployment (``sadc_rpcd`` /
+``hadoop_log_rpcd`` per monitored node); simulation-mode experiments use
+:class:`repro.rpc.inproc.InprocChannel` instead, which shares this
+dispatch logic without sockets.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from .protocol import (
+    ByteCounter,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    make_error,
+    make_response,
+    make_welcome,
+)
+
+
+def handler_methods(handler: Any) -> List[str]:
+    """Names of the RPC methods a handler object exposes."""
+    return sorted(
+        name[len("rpc_"):]
+        for name in dir(handler)
+        if name.startswith("rpc_") and callable(getattr(handler, name))
+    )
+
+
+def dispatch(handler: Any, payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Route one decoded request to the handler; never raises."""
+    request_id = payload.get("id", -1)
+    method = payload.get("method")
+    if not isinstance(method, str):
+        return make_error(request_id, "request missing method name")
+    target = getattr(handler, f"rpc_{method}", None)
+    if target is None or not callable(target):
+        return make_error(request_id, f"no such method: {method}")
+    params = payload.get("params") or {}
+    if not isinstance(params, dict):
+        return make_error(request_id, "params must be an object")
+    try:
+        result = target(**params)
+    except TypeError as exc:
+        return make_error(request_id, f"bad parameters for {method}: {exc}")
+    except Exception as exc:  # noqa: BLE001 - reported to the caller
+        return make_error(request_id, f"{type(exc).__name__}: {exc}")
+    return make_response(request_id, result)
+
+
+def _read_frame(sock: socket.socket) -> Optional[Tuple[Dict[str, Any], int]]:
+    """Read one full frame from a socket; None on orderly EOF."""
+    header = b""
+    while len(header) < 4:
+        chunk = sock.recv(4 - len(header))
+        if not chunk:
+            return None
+        header += chunk
+    (length,) = __import__("struct").unpack(">I", header)
+    body = b""
+    while len(body) < length:
+        chunk = sock.recv(min(65536, length - len(body)))
+        if not chunk:
+            raise ProtocolError("connection closed mid-frame")
+        body += chunk
+    payload, consumed = decode_frame(header + body)
+    return payload, consumed
+
+
+class RpcServer:
+    """A TCP server bound to localhost serving one handler object."""
+
+    def __init__(self, handler: Any, service: str, port: int = 0) -> None:
+        self.handler = handler
+        self.service = service
+        self.counter = ByteCounter()
+        outer = self
+
+        class _ConnectionHandler(socketserver.BaseRequestHandler):
+            def handle(self) -> None:  # noqa: D401 - socketserver API
+                sock: socket.socket = self.request
+                outer.counter.count_handshake()
+                try:
+                    first = _read_frame(sock)
+                    if first is None:
+                        return
+                    hello, consumed = first
+                    outer.counter.count_rx(consumed, static=True)
+                    if "hello" not in hello:
+                        return
+                    welcome = encode_frame(
+                        make_welcome(outer.service, handler_methods(outer.handler))
+                    )
+                    sock.sendall(welcome)
+                    outer.counter.count_tx(len(welcome), static=True)
+                    while True:
+                        frame = _read_frame(sock)
+                        if frame is None:
+                            return
+                        payload, consumed = frame
+                        outer.counter.count_rx(consumed)
+                        response = encode_frame(dispatch(outer.handler, payload))
+                        sock.sendall(response)
+                        outer.counter.count_tx(len(response))
+                except (ProtocolError, ConnectionError, OSError):
+                    return
+
+        class _Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._server = _Server(("127.0.0.1", port), _ConnectionHandler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address  # type: ignore[return-value]
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name=f"rpcd-{self.service}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "RpcServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,26 @@
+"""Node/resource/network simulation substrate under the Hadoop layer.
+
+Models each cluster node as four contended resources (CPU, disk, NIC,
+memory) with proportional-share arbitration, a TCP-like response to
+packet loss, and coherent ``/proc`` counter generation via
+:class:`SimNode`.
+"""
+
+from .engine import CpuDemand, DiskDemand, TickContext
+from .network import PACKET_BYTES, NetworkModel, Transfer
+from .node import DISK_IO_BYTES, SimNode
+from .resources import NodeSpec, share_proportionally, tcp_goodput_factor
+
+__all__ = [
+    "CpuDemand",
+    "DISK_IO_BYTES",
+    "DiskDemand",
+    "NetworkModel",
+    "NodeSpec",
+    "PACKET_BYTES",
+    "SimNode",
+    "TickContext",
+    "Transfer",
+    "share_proportionally",
+    "tcp_goodput_factor",
+]

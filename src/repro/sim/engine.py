@@ -1,0 +1,165 @@
+"""Per-tick demand collection and arbitration.
+
+Every simulation tick proceeds in two passes: activities (task attempts,
+daemons, injected resource hogs) *declare* demands against their node's
+CPU and disk and against the network, then the engine *arbitrates* --
+proportional share per node resource, min-of-endpoint-shares for
+transfers -- and fills the granted fields in place.  Activities then read
+their grants back and advance their state machines.
+
+This two-pass structure is what makes contention faults work: a CPUHog
+declaring 2.8 cores on a 4-core node shrinks every map task's grant on
+that node, slowing them down exactly as the paper's injected fault does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .network import NetworkModel, Transfer
+from .node import SimNode
+from .resources import share_proportionally
+
+
+@dataclass
+class CpuDemand:
+    """One activity's CPU demand on a node for this tick (core-seconds).
+
+    The engine fills ``granted``; the *activity* decides how much of the
+    grant it actually consumed (an I/O-stalled task consumes less) and
+    books it through :meth:`book`, with the unconsumed remainder showing
+    up as iowait rather than CPU burn.
+    """
+
+    node: str
+    pid: int
+    wanted: float
+    granted: float = 0.0
+    #: Fraction of consumed CPU booked as system (kernel) time.
+    sys_fraction: float = 0.15
+    _sim_node: "SimNode" = None
+
+    def book(self, used: float, iowait: float = 0.0) -> None:
+        """Record actually consumed CPU time (and I/O stall) on the node."""
+        used = min(max(0.0, used), self.granted)
+        sys_time = used * self.sys_fraction
+        self._sim_node.account_cpu(self.pid, used - sys_time, sys_time)
+        if iowait > 0:
+            self._sim_node.account_iowait(iowait)
+
+    def book_all(self) -> None:
+        """Record the full grant as consumed (pure CPU burners)."""
+        self.book(self.granted)
+
+
+@dataclass
+class DiskDemand:
+    """One activity's disk demand on a node for this tick (bytes)."""
+
+    node: str
+    pid: int
+    read_wanted: float
+    write_wanted: float
+    read_granted: float = 0.0
+    write_granted: float = 0.0
+
+
+class TickContext:
+    """Collects all demands of one tick, then arbitrates them."""
+
+    def __init__(self, nodes: Dict[str, SimNode], network: NetworkModel, dt: float) -> None:
+        self.nodes = nodes
+        self.network = network
+        self.dt = dt
+        self._cpu: List[CpuDemand] = []
+        self._disk: List[DiskDemand] = []
+        self._transfers: List[Transfer] = []
+
+    # -- declaration (first pass) ----------------------------------------------
+
+    def demand_cpu(
+        self, node: str, pid: int, cores: float, sys_fraction: float = 0.15
+    ) -> CpuDemand:
+        demand = CpuDemand(
+            node=node,
+            pid=pid,
+            wanted=max(0.0, cores) * self.dt,
+            sys_fraction=sys_fraction,
+            _sim_node=self.nodes[node],
+        )
+        self._cpu.append(demand)
+        self.nodes[node].note_cpu_demand(max(0.0, cores))
+        return demand
+
+    def demand_disk(
+        self, node: str, pid: int, read_bytes: float = 0.0, write_bytes: float = 0.0
+    ) -> DiskDemand:
+        demand = DiskDemand(
+            node=node,
+            pid=pid,
+            read_wanted=max(0.0, read_bytes),
+            write_wanted=max(0.0, write_bytes),
+        )
+        self._disk.append(demand)
+        return demand
+
+    def demand_transfer(
+        self, src: str, dst: str, wanted_bytes: float, tag: str = ""
+    ) -> Transfer:
+        transfer = Transfer(src=src, dst=dst, wanted_bytes=max(0.0, wanted_bytes), tag=tag)
+        self._transfers.append(transfer)
+        return transfer
+
+    # -- arbitration (second pass) -----------------------------------------------
+
+    def arbitrate(self) -> None:
+        """Resolve all declared demands into grants, and book node counters."""
+        # CPU: proportional share of each node's core capacity.
+        by_node: Dict[str, List[CpuDemand]] = {}
+        for demand in self._cpu:
+            by_node.setdefault(demand.node, []).append(demand)
+        for node_name, demands in by_node.items():
+            capacity = self.nodes[node_name].spec.cpu_cores * self.dt
+            grants = share_proportionally([d.wanted for d in demands], capacity)
+            for demand, granted in zip(demands, grants):
+                demand.granted = granted
+
+        # Disk: reads and writes jointly saturate the device.  The busy
+        # fraction they'd require is computed against each bandwidth, and
+        # all demands are scaled by the same factor when oversubscribed.
+        disk_by_node: Dict[str, List[DiskDemand]] = {}
+        for demand in self._disk:
+            disk_by_node.setdefault(demand.node, []).append(demand)
+        for node_name, demands in disk_by_node.items():
+            spec = self.nodes[node_name].spec
+            busy = sum(
+                d.read_wanted / spec.disk_read_bytes_s
+                + d.write_wanted / spec.disk_write_bytes_s
+                for d in demands
+            )
+            factor = 1.0 if busy <= self.dt or busy <= 0 else self.dt / busy
+            for demand in demands:
+                demand.read_granted = demand.read_wanted * factor
+                demand.write_granted = demand.write_wanted * factor
+                self.nodes[node_name].account_disk(
+                    demand.pid, demand.read_granted, demand.write_granted
+                )
+
+        # Network: min of endpoint shares, degraded by packet loss.
+        self.network.arbitrate(self._transfers, self.dt)
+        for transfer in self._transfers:
+            if transfer.src == transfer.dst:
+                continue
+            src_node = self.nodes.get(transfer.src)
+            dst_node = self.nodes.get(transfer.dst)
+            if src_node is not None:
+                src_node.account_net(
+                    tx_bytes=transfer.granted_bytes,
+                    tx_dropped=transfer.dropped_bytes,
+                )
+            if dst_node is not None:
+                dst_node.account_net(
+                    rx_bytes=transfer.granted_bytes,
+                    rx_dropped=transfer.dropped_bytes,
+                )

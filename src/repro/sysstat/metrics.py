@@ -1,0 +1,153 @@
+"""Metric catalogs for the sysstat substrate.
+
+The paper reports that the ``sadc`` module gathers "64 node-level
+metrics, 18 network-interface-specific metrics and 19 process-level
+metrics" (section 3.5).  These catalogs enumerate exactly those counts,
+following the metric families that sysstat's ``sar``/``sadc`` expose:
+CPU, process creation and context switching, load, interrupts, swapping,
+paging, memory, block I/O, file-system tables, aggregate network traffic,
+sockets, and TCP connections.
+
+The names are the stable identifiers used throughout the reproduction:
+black-box analysis vectors are ordered by :data:`NODE_METRICS`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Node-level metrics (64), grouped by sysstat family.
+NODE_METRICS: Tuple[str, ...] = (
+    # CPU utilization, percent of total CPU time (8)
+    "cpu_user_pct",
+    "cpu_nice_pct",
+    "cpu_system_pct",
+    "cpu_iowait_pct",
+    "cpu_steal_pct",
+    "cpu_idle_pct",
+    "cpu_irq_pct",
+    "cpu_softirq_pct",
+    # Process creation and scheduling (4)
+    "proc_per_s",
+    "cswch_per_s",
+    "runq_sz",
+    "plist_sz",
+    # Load averages (3)
+    "ldavg_1",
+    "ldavg_5",
+    "ldavg_15",
+    # Interrupts (1)
+    "intr_per_s",
+    # Swapping (4)
+    "pswpin_per_s",
+    "pswpout_per_s",
+    "swap_used_kb",
+    "swap_free_kb",
+    # Paging (6)
+    "pgpgin_per_s",
+    "pgpgout_per_s",
+    "fault_per_s",
+    "majflt_per_s",
+    "pgfree_per_s",
+    "pgscank_per_s",
+    # Memory (8)
+    "mem_free_kb",
+    "mem_used_kb",
+    "mem_used_pct",
+    "buffers_kb",
+    "cached_kb",
+    "commit_kb",
+    "commit_pct",
+    "active_kb",
+    # Block I/O (6)
+    "tps",
+    "rtps",
+    "wtps",
+    "bread_per_s",
+    "bwrtn_per_s",
+    "await_ms",
+    # Disk utilization (3)
+    "disk_util_pct",
+    "avgqu_sz",
+    "svctm_ms",
+    # Kernel tables (5)
+    "dentunusd",
+    "file_nr",
+    "inode_nr",
+    "pty_nr",
+    "super_nr",
+    # Aggregate network traffic (6)
+    "net_rxpck_per_s",
+    "net_txpck_per_s",
+    "net_rxkb_per_s",
+    "net_txkb_per_s",
+    "net_rxerr_per_s",
+    "net_txerr_per_s",
+    # Sockets (6)
+    "totsck",
+    "tcpsck",
+    "udpsck",
+    "rawsck",
+    "ip_frag",
+    "tcp_tw",
+    # TCP connections (4)
+    "tcp_active_per_s",
+    "tcp_passive_per_s",
+    "tcp_iseg_per_s",
+    "tcp_oseg_per_s",
+)
+
+#: Per-network-interface metrics (18).
+NIC_METRICS: Tuple[str, ...] = (
+    "rxpck_per_s",
+    "txpck_per_s",
+    "rxkb_per_s",
+    "txkb_per_s",
+    "rxcmp_per_s",
+    "txcmp_per_s",
+    "rxmcst_per_s",
+    "rxerr_per_s",
+    "txerr_per_s",
+    "coll_per_s",
+    "rxdrop_per_s",
+    "txdrop_per_s",
+    "txcarr_per_s",
+    "rxfram_per_s",
+    "rxfifo_per_s",
+    "txfifo_per_s",
+    "ifutil_pct",
+    "speed_mbps",
+)
+
+#: Per-process metrics (19).
+PROCESS_METRICS: Tuple[str, ...] = (
+    "pcpu_user_pct",
+    "pcpu_system_pct",
+    "pcpu_total_pct",
+    "minflt_per_s",
+    "majflt_per_s",
+    "vsz_kb",
+    "rss_kb",
+    "mem_pct",
+    "stk_size_kb",
+    "stk_ref_kb",
+    "kb_rd_per_s",
+    "kb_wr_per_s",
+    "kb_ccwr_per_s",
+    "iodelay_ticks",
+    "cswch_per_s",
+    "nvcswch_per_s",
+    "threads",
+    "fds",
+    "prio",
+)
+
+NODE_METRIC_COUNT = len(NODE_METRICS)
+NIC_METRIC_COUNT = len(NIC_METRICS)
+PROCESS_METRIC_COUNT = len(PROCESS_METRICS)
+
+NODE_METRIC_INDEX = {name: i for i, name in enumerate(NODE_METRICS)}
+
+assert NODE_METRIC_COUNT == 64, NODE_METRIC_COUNT
+assert NIC_METRIC_COUNT == 18, NIC_METRIC_COUNT
+assert PROCESS_METRIC_COUNT == 19, PROCESS_METRIC_COUNT

@@ -1,0 +1,17 @@
+"""Workload generation: the GridMix-like benchmark mixture."""
+
+from .gridmix import (
+    JOB_CLASSES,
+    SIZE_TIERS,
+    GridMixConfig,
+    GridMixWorkload,
+    generate_workload,
+)
+
+__all__ = [
+    "GridMixConfig",
+    "GridMixWorkload",
+    "JOB_CLASSES",
+    "SIZE_TIERS",
+    "generate_workload",
+]

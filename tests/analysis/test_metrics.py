@@ -1,0 +1,136 @@
+"""Tests for detection-quality metrics (paper section 4.6)."""
+
+import pytest
+
+from repro.analysis import (
+    Alarm,
+    ConfusionCounts,
+    GroundTruth,
+    WindowDecision,
+    alarms_by_node,
+    fingerpointing_latency,
+    score_decisions,
+)
+
+
+class TestGroundTruth:
+    def test_window_on_culprit_after_injection_is_problematic(self):
+        truth = GroundTruth(faulty_node="slave03", inject_time=100.0)
+        assert truth.window_is_problematic("slave03", 120.0, 180.0)
+
+    def test_window_before_injection_is_clean(self):
+        truth = GroundTruth(faulty_node="slave03", inject_time=100.0)
+        assert not truth.window_is_problematic("slave03", 0.0, 60.0)
+
+    def test_window_straddling_injection_is_problematic(self):
+        truth = GroundTruth(faulty_node="slave03", inject_time=100.0)
+        assert truth.window_is_problematic("slave03", 60.0, 120.0)
+
+    def test_other_nodes_always_clean(self):
+        truth = GroundTruth(faulty_node="slave03", inject_time=0.0)
+        assert not truth.window_is_problematic("slave01", 50.0, 110.0)
+
+    def test_fault_free_run_has_no_problematic_windows(self):
+        truth = GroundTruth(faulty_node=None)
+        assert not truth.window_is_problematic("slave01", 0.0, 60.0)
+
+    def test_clear_time_bounds_problem_period(self):
+        truth = GroundTruth(faulty_node="s", inject_time=100.0, clear_time=200.0)
+        assert truth.window_is_problematic("s", 150.0, 210.0)
+        assert not truth.window_is_problematic("s", 200.0, 260.0)
+
+
+class TestConfusionCounts:
+    def test_balanced_accuracy_perfect(self):
+        counts = ConfusionCounts(true_positives=5, true_negatives=20)
+        assert counts.balanced_accuracy == 1.0
+
+    def test_balanced_accuracy_blind_detector(self):
+        counts = ConfusionCounts(false_negatives=5, true_negatives=20)
+        assert counts.balanced_accuracy == 0.5
+
+    def test_balanced_accuracy_mixed(self):
+        counts = ConfusionCounts(
+            true_positives=3, false_negatives=1, true_negatives=9, false_positives=1
+        )
+        assert counts.balanced_accuracy == pytest.approx(0.5 * (0.75 + 0.9))
+
+    def test_fp_rate(self):
+        counts = ConfusionCounts(true_negatives=90, false_positives=10)
+        assert counts.false_positive_rate == pytest.approx(0.1)
+
+    def test_rates_with_no_samples_are_zero(self):
+        counts = ConfusionCounts()
+        assert counts.true_positive_rate == 0.0
+        assert counts.false_positive_rate == 0.0
+
+    def test_add_accumulates(self):
+        a = ConfusionCounts(true_positives=1, false_positives=2)
+        a.add(ConfusionCounts(true_positives=3, true_negatives=4))
+        assert a.true_positives == 4
+        assert a.false_positives == 2
+        assert a.true_negatives == 4
+        assert a.total == 10
+
+
+class TestScoring:
+    def test_score_decisions_full_matrix(self):
+        truth = GroundTruth(faulty_node="bad", inject_time=100.0)
+        decisions = [
+            WindowDecision("bad", 120, 180, alarmed=True),    # TP
+            WindowDecision("bad", 180, 240, alarmed=False),   # FN
+            WindowDecision("good", 120, 180, alarmed=True),   # FP
+            WindowDecision("good", 180, 240, alarmed=False),  # TN
+            WindowDecision("bad", 0, 60, alarmed=False),      # TN (pre-injection)
+        ]
+        counts = score_decisions(decisions, truth)
+        assert (counts.true_positives, counts.false_negatives) == (1, 1)
+        assert (counts.false_positives, counts.true_negatives) == (1, 2)
+
+    def test_score_on_fault_free_truth(self):
+        truth = GroundTruth(faulty_node=None)
+        decisions = [
+            WindowDecision("a", 0, 60, alarmed=True),
+            WindowDecision("b", 0, 60, alarmed=False),
+        ]
+        counts = score_decisions(decisions, truth)
+        assert counts.false_positives == 1
+        assert counts.true_negatives == 1
+
+
+class TestLatency:
+    def test_first_culprit_alarm_after_injection(self):
+        truth = GroundTruth(faulty_node="bad", inject_time=100.0)
+        alarms = [
+            Alarm(time=50.0, node="bad"),     # before injection: ignored
+            Alarm(time=140.0, node="good"),   # wrong node: ignored
+            Alarm(time=220.0, node="bad"),
+            Alarm(time=260.0, node="bad"),
+        ]
+        assert fingerpointing_latency(alarms, truth) == pytest.approx(120.0)
+
+    def test_no_alarms_means_none(self):
+        truth = GroundTruth(faulty_node="bad", inject_time=0.0)
+        assert fingerpointing_latency([], truth) is None
+
+    def test_fault_free_run_has_no_latency(self):
+        truth = GroundTruth(faulty_node=None)
+        assert fingerpointing_latency([Alarm(time=1.0, node="x")], truth) is None
+
+
+class TestAlarmHelpers:
+    def test_alarms_by_node_groups(self):
+        alarms = [
+            Alarm(time=1.0, node="a"),
+            Alarm(time=2.0, node="b"),
+            Alarm(time=3.0, node="a"),
+        ]
+        grouped = alarms_by_node(alarms)
+        assert len(grouped["a"]) == 2
+        assert len(grouped["b"]) == 1
+
+    def test_describe_mentions_node_and_source(self):
+        alarm = Alarm(time=42.0, node="slave03", source="whitebox", detail="x")
+        text = alarm.describe()
+        assert "slave03" in text
+        assert "whitebox" in text

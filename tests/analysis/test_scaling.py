@@ -1,0 +1,69 @@
+"""Tests for the log-scaling transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import MIN_SIGMA, LogScaler
+
+
+def training_matrix(seed: int = 0, n: int = 100, d: int = 5) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.gamma(2.0, 100.0, size=(n, d))
+
+
+class TestFit:
+    def test_sigma_shape_matches_metrics(self):
+        scaler = LogScaler.fit(training_matrix(d=7))
+        assert scaler.sigma.shape == (7,)
+        assert scaler.n_metrics == 7
+
+    def test_sigma_is_of_logged_data(self):
+        matrix = training_matrix()
+        scaler = LogScaler.fit(matrix)
+        expected = np.log1p(matrix).std(axis=0)
+        assert scaler.sigma == pytest.approx(expected)
+
+    def test_constant_metric_gets_sigma_floor(self):
+        matrix = np.ones((50, 3)) * 7.0
+        scaler = LogScaler.fit(matrix)
+        assert np.all(scaler.sigma == MIN_SIGMA)
+
+    def test_fit_rejects_vectors(self):
+        with pytest.raises(ValueError):
+            LogScaler.fit(np.ones(10))
+
+    def test_fit_rejects_single_sample(self):
+        with pytest.raises(ValueError):
+            LogScaler.fit(np.ones((1, 4)))
+
+
+class TestTransform:
+    def test_transform_formula(self):
+        scaler = LogScaler.fit(training_matrix())
+        raw = np.array([10.0, 20.0, 0.0, 5.0, 1.0])
+        expected = np.log1p(raw) / scaler.sigma
+        assert scaler.transform(raw) == pytest.approx(expected)
+
+    def test_negative_values_clamped(self):
+        scaler = LogScaler(sigma=np.ones(2))
+        assert scaler.transform(np.array([-5.0, -1.0])) == pytest.approx([0.0, 0.0])
+
+    def test_matrix_transform(self):
+        scaler = LogScaler.fit(training_matrix())
+        matrix = training_matrix(seed=1)
+        out = scaler.transform(matrix)
+        assert out.shape == matrix.shape
+
+    @given(
+        st.floats(0.0, 1e9),
+        st.floats(0.0, 1e9),
+    )
+    def test_property_monotone_in_each_metric(self, a, b):
+        scaler = LogScaler(sigma=np.array([2.0]))
+        lo, hi = sorted((a, b))
+        assert scaler.transform(np.array([lo]))[0] <= scaler.transform(np.array([hi]))[0]
+
+    def test_zero_maps_to_zero(self):
+        scaler = LogScaler(sigma=np.ones(3))
+        assert scaler.transform(np.zeros(3)) == pytest.approx(np.zeros(3))

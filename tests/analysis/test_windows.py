@@ -1,0 +1,112 @@
+"""Tests for window geometry and the streaming accumulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import StreamingWindow, WindowSpec
+
+
+class TestWindowSpec:
+    def test_non_overlapping_bounds(self):
+        spec = WindowSpec(size=60, slide=60)
+        assert spec.bounds(180) == [(0, 60), (60, 120), (120, 180)]
+
+    def test_overlapping_bounds(self):
+        spec = WindowSpec(size=4, slide=2)
+        assert spec.bounds(8) == [(0, 4), (2, 6), (4, 8)]
+
+    def test_overlap_property(self):
+        assert WindowSpec(size=60, slide=45).overlap == 15
+
+    def test_window_count_matches_bounds(self):
+        spec = WindowSpec(size=10, slide=3)
+        for n in (0, 9, 10, 11, 30, 100):
+            assert spec.window_count(n) == len(spec.bounds(n))
+
+    def test_iter_windows_slices_correctly(self):
+        spec = WindowSpec(size=3, slide=3)
+        data = np.arange(9)
+        windows = list(spec.iter_windows(data))
+        assert [list(w) for w in windows] == [[0, 1, 2], [3, 4, 5], [6, 7, 8]]
+
+    def test_window_end_time(self):
+        spec = WindowSpec(size=60, slide=60)
+        assert spec.window_end_time(0) == 60.0
+        assert spec.window_end_time(2, start_time=100.0) == 280.0
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            WindowSpec(size=0, slide=1)
+        with pytest.raises(ValueError):
+            WindowSpec(size=10, slide=0)
+        with pytest.raises(ValueError):
+            WindowSpec(size=10, slide=11)
+
+    @given(
+        n=st.integers(0, 500),
+        size=st.integers(1, 50),
+        slide_frac=st.floats(0.1, 1.0),
+    )
+    def test_property_windows_stay_in_range(self, n, size, slide_frac):
+        slide = max(1, int(size * slide_frac))
+        spec = WindowSpec(size=size, slide=slide)
+        for start, end in spec.bounds(n):
+            assert 0 <= start < end <= n
+            assert end - start == size
+
+
+class TestStreamingWindow:
+    def test_emits_on_completion(self):
+        window = StreamingWindow(WindowSpec(size=3, slide=3))
+        assert window.push(np.array([1.0])) == []
+        assert window.push(np.array([2.0])) == []
+        (completed,) = window.push(np.array([3.0]))
+        assert completed.shape == (3, 1)
+        assert list(completed.ravel()) == [1.0, 2.0, 3.0]
+
+    def test_tumbling_windows_do_not_overlap(self):
+        window = StreamingWindow(WindowSpec(size=2, slide=2))
+        emitted = []
+        for i in range(6):
+            emitted.extend(window.push(np.array([float(i)])))
+        assert [list(w.ravel()) for w in emitted] == [[0, 1], [2, 3], [4, 5]]
+
+    def test_sliding_windows_overlap(self):
+        window = StreamingWindow(WindowSpec(size=3, slide=1))
+        emitted = []
+        for i in range(5):
+            emitted.extend(window.push(np.array([float(i)])))
+        assert [list(w.ravel()) for w in emitted] == [
+            [0, 1, 2],
+            [1, 2, 3],
+            [2, 3, 4],
+        ]
+
+    def test_pending_counts_buffered_samples(self):
+        window = StreamingWindow(WindowSpec(size=3, slide=3))
+        window.push(np.array([1.0]))
+        assert window.pending() == 1
+
+    def test_windows_emitted_counter(self):
+        window = StreamingWindow(WindowSpec(size=2, slide=2))
+        for i in range(7):
+            window.push(np.array([float(i)]))
+        assert window.windows_emitted == 3
+
+    @given(
+        n=st.integers(0, 60),
+        size=st.integers(1, 10),
+    )
+    def test_property_stream_matches_batch(self, n, size):
+        """Streaming emission equals batch WindowSpec.bounds slicing."""
+        spec = WindowSpec(size=size, slide=size)
+        data = np.arange(n, dtype=float).reshape(-1, 1)
+        window = StreamingWindow(spec)
+        streamed = []
+        for row in data:
+            streamed.extend(window.push(row))
+        batched = [data[s:e] for s, e in spec.bounds(n)]
+        assert len(streamed) == len(batched)
+        for got, expected in zip(streamed, batched):
+            assert np.array_equal(got, expected)

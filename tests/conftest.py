@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.experiments.model import BlackBoxModel, train_blackbox_model
+from repro.hadoop.cluster import ClusterConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_model() -> BlackBoxModel:
+    """A black-box model trained on a very small fault-free run.
+
+    Session-scoped: training runs a short cluster simulation, so share
+    one model across every test that needs it.
+    """
+    return train_blackbox_model(
+        cluster_config=ClusterConfig(num_slaves=5, seed=99),
+        duration_s=120.0,
+        num_states=6,
+        seed=0,
+    )

@@ -1,0 +1,140 @@
+"""Tests for outputs, connections, and input groups."""
+
+import pytest
+
+from repro.core import InputGroup, ModuleError, Origin, Output, Sample
+
+
+def make_output(name: str = "out") -> Output:
+    return Output(owner_id="src0", name=name)
+
+
+class TestOrigin:
+    def test_describe_joins_parts(self):
+        origin = Origin(node="slave01", source="sadc", metric="cpu_user_pct")
+        assert origin.describe() == "slave01/sadc/cpu_user_pct"
+
+    def test_describe_skips_empty_parts(self):
+        assert Origin(node="slave01").describe() == "slave01"
+
+    def test_describe_empty_origin(self):
+        assert Origin().describe() == "<unknown>"
+
+    def test_is_hashable_and_equatable(self):
+        assert Origin(node="a") == Origin(node="a")
+        assert hash(Origin(node="a")) == hash(Origin(node="a"))
+
+
+class TestOutput:
+    def test_full_name(self):
+        assert make_output("vector").full_name == "src0.vector"
+
+    def test_write_without_subscribers_counts(self):
+        output = make_output()
+        output.write(1.0, timestamp=0.0)
+        assert output.total_written == 1
+
+    def test_write_fans_out_to_all_subscribers(self):
+        output = make_output()
+        first = output.subscribe()
+        second = output.subscribe()
+        output.write(42, timestamp=3.0)
+        assert first.pop() == Sample(3.0, 42)
+        assert second.pop() == Sample(3.0, 42)
+
+    def test_on_write_hook_invoked(self):
+        output = make_output()
+        seen = []
+        output.on_write = lambda out, sample: seen.append((out.name, sample.value))
+        output.write("x", timestamp=1.0)
+        assert seen == [("out", "x")]
+
+
+class TestConnection:
+    def test_pop_all_drains_in_order(self):
+        output = make_output()
+        conn = output.subscribe()
+        for i in range(3):
+            output.write(i, timestamp=float(i))
+        values = [s.value for s in conn.pop_all()]
+        assert values == [0, 1, 2]
+        assert conn.pop_all() == []
+
+    def test_pop_returns_none_when_empty(self):
+        conn = make_output().subscribe()
+        assert conn.pop() is None
+
+    def test_peek_does_not_consume(self):
+        output = make_output()
+        conn = output.subscribe()
+        output.write(5, timestamp=0.0)
+        assert conn.peek().value == 5
+        assert len(conn) == 1
+
+    def test_latest_drains_and_returns_newest(self):
+        output = make_output()
+        conn = output.subscribe()
+        output.write(1, timestamp=0.0)
+        output.write(2, timestamp=1.0)
+        assert conn.latest().value == 2
+        assert len(conn) == 0
+
+    def test_latest_on_empty_is_none(self):
+        assert make_output().subscribe().latest() is None
+
+    def test_capacity_drops_oldest(self):
+        output = make_output()
+        conn = output.subscribe(capacity=2)
+        for i in range(5):
+            output.write(i, timestamp=float(i))
+        assert [s.value for s in conn.pop_all()] == [3, 4]
+        assert conn.total_dropped == 3
+        assert conn.total_received == 5
+
+    def test_origin_comes_from_output(self):
+        output = Output(owner_id="a", name="b", origin=Origin(node="n1"))
+        assert output.subscribe().origin == Origin(node="n1")
+
+
+class TestInputGroup:
+    def test_single_with_one_connection(self):
+        group = InputGroup("input")
+        conn = make_output().subscribe()
+        group.connections.append(conn)
+        assert group.single() is conn
+
+    def test_single_with_zero_connections_raises(self):
+        with pytest.raises(ModuleError):
+            InputGroup("input").single()
+
+    def test_single_with_two_connections_raises(self):
+        group = InputGroup("input")
+        group.connections.append(make_output().subscribe())
+        group.connections.append(make_output().subscribe())
+        with pytest.raises(ModuleError):
+            group.single()
+
+    def test_iteration_and_indexing(self):
+        group = InputGroup("input")
+        conns = [make_output().subscribe() for _ in range(3)]
+        group.connections.extend(conns)
+        assert list(group) == conns
+        assert group[1] is conns[1]
+        assert len(group) == 3
+
+    def test_pop_latest_vector_preserves_order(self):
+        group = InputGroup("input")
+        outputs = [make_output(f"o{i}") for i in range(2)]
+        for output in outputs:
+            group.connections.append(output.subscribe())
+        outputs[0].write(10, timestamp=0.0)
+        outputs[1].write(20, timestamp=0.0)
+        outputs[1].write(21, timestamp=1.0)
+        samples = group.pop_latest_vector()
+        assert samples[0].value == 10
+        assert samples[1].value == 21
+
+    def test_pop_latest_vector_with_missing_data(self):
+        group = InputGroup("input")
+        group.connections.append(make_output().subscribe())
+        assert group.pop_latest_vector() == [None]

@@ -1,0 +1,72 @@
+"""Tests for the clock abstraction."""
+
+import time
+
+import pytest
+
+from repro.core import SchedulerError, SimClock, WallClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(12.5).now() == 12.5
+
+    def test_advance_to_moves_forward(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now() == 10.0
+
+    def test_advance_to_backwards_raises(self):
+        clock = SimClock(5.0)
+        with pytest.raises(SchedulerError):
+            clock.advance_to(4.0)
+
+    def test_advance_to_same_time_is_allowed(self):
+        clock = SimClock(5.0)
+        clock.advance_to(5.0)
+        assert clock.now() == 5.0
+
+    def test_advance_by(self):
+        clock = SimClock(1.0)
+        clock.advance_by(2.5)
+        assert clock.now() == 3.5
+
+    def test_advance_by_negative_raises(self):
+        with pytest.raises(SchedulerError):
+            SimClock().advance_by(-1.0)
+
+    def test_sleep_until_jumps_forward(self):
+        clock = SimClock()
+        clock.sleep_until(7.0)
+        assert clock.now() == 7.0
+
+    def test_sleep_until_past_deadline_is_noop(self):
+        clock = SimClock(10.0)
+        clock.sleep_until(3.0)
+        assert clock.now() == 10.0
+
+
+class TestWallClock:
+    def test_starts_near_zero(self):
+        assert WallClock().now() < 0.5
+
+    def test_is_monotonic(self):
+        clock = WallClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_sleep_until_waits(self):
+        clock = WallClock()
+        deadline = clock.now() + 0.05
+        clock.sleep_until(deadline)
+        assert clock.now() >= deadline
+
+    def test_sleep_until_past_deadline_returns_immediately(self):
+        clock = WallClock()
+        start = time.monotonic()
+        clock.sleep_until(clock.now() - 5.0)
+        assert time.monotonic() - start < 0.05

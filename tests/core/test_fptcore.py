@@ -1,0 +1,118 @@
+"""Tests for the FptCore facade."""
+
+import pytest
+
+from repro.core import ConfigError, FptCore, Module, ModuleRegistry, RunReason, SimClock
+
+from .helpers import SinkModule, build_registry
+
+
+class ServiceEcho(Module):
+    type_name = "service_echo"
+
+    def init(self) -> None:
+        self.value = self.ctx.service("payload")
+        self.out = self.ctx.create_output("value")
+        self.ctx.schedule_every(1.0)
+
+    def run(self, reason: RunReason) -> None:
+        self.out.write(self.value, self.ctx.clock.now())
+
+
+class Closeable(Module):
+    type_name = "closeable"
+
+    closed_count = 0
+
+    def init(self) -> None:
+        self.ctx.create_output("value")
+
+    def run(self, reason: RunReason) -> None:
+        pass
+
+    def close(self) -> None:
+        type(self).closed_count += 1
+
+
+def registry_with_extras() -> ModuleRegistry:
+    registry = build_registry()
+    registry.register(ServiceEcho)
+    registry.register(Closeable)
+    return registry
+
+
+class TestFptCore:
+    def test_from_config_builds_and_runs(self):
+        core = FptCore.from_config(
+            "[source]\nid = s\n\n[sink]\nid = k\ninput[a] = s.value\n",
+            build_registry(),
+            SimClock(),
+        )
+        core.run_until(2.0)
+        assert len(core.instance("k").seen) == 3
+
+    def test_instances_sorted(self):
+        core = FptCore.from_config(
+            "[source]\nid = zed\n\n[source]\nid = abel\n",
+            build_registry(),
+            SimClock(),
+        )
+        assert core.instances == ["abel", "zed"]
+
+    def test_services_reach_modules(self):
+        core = FptCore.from_config(
+            "[service_echo]\nid = e\n\n[sink]\nid = k\ninput[a] = e.value\n",
+            registry_with_extras(),
+            SimClock(),
+            services={"payload": "hello"},
+        )
+        core.run_until(1.0)
+        assert core.instance("k").seen[0][1] == "hello"
+
+    def test_missing_service_fails_at_build_time(self):
+        with pytest.raises(ConfigError, match="payload"):
+            FptCore.from_config(
+                "[service_echo]\nid = e\n", registry_with_extras(), SimClock()
+            )
+
+    def test_default_clock_is_simulated(self):
+        core = FptCore.from_config("[source]\nid = s\n", build_registry())
+        assert isinstance(core.clock, SimClock)
+
+    def test_close_is_idempotent_and_calls_modules(self):
+        Closeable.closed_count = 0
+        core = FptCore.from_config(
+            "[closeable]\nid = c\n", registry_with_extras(), SimClock()
+        )
+        core.close()
+        core.close()
+        assert Closeable.closed_count == 1
+
+    def test_context_manager_closes(self):
+        Closeable.closed_count = 0
+        with FptCore.from_config(
+            "[closeable]\nid = c\n", registry_with_extras(), SimClock()
+        ):
+            pass
+        assert Closeable.closed_count == 1
+
+    def test_edges_and_dot_exported(self):
+        core = FptCore.from_config(
+            "[source]\nid = s\n\n[sink]\nid = k\ninput[a] = s.value\n",
+            build_registry(),
+            SimClock(),
+        )
+        assert len(core.edges) == 1
+        assert "digraph" in core.to_dot()
+
+    def test_queue_capacity_is_applied(self):
+        core = FptCore.from_config(
+            "[source]\nid = s\n\n[sink]\nid = k\ninput[a] = s.value\ntrigger = 1000\n",
+            build_registry(),
+            SimClock(),
+            queue_capacity=3,
+        )
+        core.run_until(10.0)  # sink never triggers; queue overflows at 3
+        conn = core.dag.contexts["k"].inputs["a"].single()
+        assert len(conn) == 3
+        assert conn.total_dropped == 8

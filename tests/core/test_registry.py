@@ -1,0 +1,100 @@
+"""Tests for the module registry."""
+
+import pytest
+
+from repro.core import ConfigError, Module, ModuleRegistry, RunReason
+
+
+class Alpha(Module):
+    type_name = "alpha"
+
+    def run(self, reason: RunReason) -> None:
+        pass
+
+
+class Beta(Module):
+    type_name = "beta"
+
+    def run(self, reason: RunReason) -> None:
+        pass
+
+
+class AlphaImpostor(Module):
+    type_name = "alpha"
+
+    def run(self, reason: RunReason) -> None:
+        pass
+
+
+class Nameless(Module):
+    def run(self, reason: RunReason) -> None:
+        pass
+
+
+class TestRegistry:
+    def test_register_and_resolve(self):
+        registry = ModuleRegistry()
+        registry.register(Alpha)
+        assert registry.resolve("alpha") is Alpha
+
+    def test_register_is_usable_as_decorator(self):
+        registry = ModuleRegistry()
+        returned = registry.register(Alpha)
+        assert returned is Alpha
+
+    def test_resolve_unknown_raises_with_candidates(self):
+        registry = ModuleRegistry()
+        registry.register(Alpha)
+        with pytest.raises(ConfigError, match="alpha"):
+            registry.resolve("missing")
+
+    def test_reregistering_same_class_is_idempotent(self):
+        registry = ModuleRegistry()
+        registry.register(Alpha)
+        registry.register(Alpha)
+        assert len(registry) == 1
+
+    def test_conflicting_registration_raises(self):
+        registry = ModuleRegistry()
+        registry.register(Alpha)
+        with pytest.raises(ConfigError, match="already registered"):
+            registry.register(AlphaImpostor)
+
+    def test_nameless_module_rejected(self):
+        with pytest.raises(ConfigError, match="no type_name"):
+            ModuleRegistry().register(Nameless)
+
+    def test_contains_and_iteration(self):
+        registry = ModuleRegistry()
+        registry.register(Beta)
+        registry.register(Alpha)
+        assert "alpha" in registry
+        assert "gamma" not in registry
+        assert list(registry) == ["alpha", "beta"]
+
+    def test_copy_is_independent(self):
+        registry = ModuleRegistry()
+        registry.register(Alpha)
+        clone = registry.copy()
+        clone.register(Beta)
+        assert "beta" in clone
+        assert "beta" not in registry
+
+
+def test_standard_registry_contains_all_paper_modules():
+    from repro.modules import standard_registry
+
+    registry = standard_registry()
+    for name in (
+        "sadc",
+        "hadoop_log",
+        "ibuffer",
+        "mavgvec",
+        "knn",
+        "analysis_bb",
+        "analysis_wb",
+        "print",
+        "alarm_union",
+        "csv_writer",
+    ):
+        assert name in registry

@@ -1,0 +1,163 @@
+"""Tests for the scheduler: periodic events, input triggers, determinism."""
+
+import pytest
+
+from repro.core import FptCore, RunReason, SchedulerError, SimClock
+
+from .helpers import build_registry
+
+
+def make_core(text: str) -> FptCore:
+    return FptCore.from_config(text, build_registry(), SimClock())
+
+
+class TestPeriodicScheduling:
+    def test_source_fires_once_per_interval(self):
+        core = make_core("[source]\nid = s\ninterval = 1.0\n\n[sink]\nid = k\ninput[a] = s.value\n")
+        core.run_until(5.0)
+        sink = core.instance("k")
+        assert [v for _, v in sink.seen] == [0, 1, 2, 3, 4, 5]
+
+    def test_interval_other_than_one(self):
+        core = make_core("[source]\nid = s\ninterval = 2.0\n\n[sink]\nid = k\ninput[a] = s.value\n")
+        core.run_until(6.0)
+        assert [t for t, _ in core.instance("k").seen] == [0.0, 2.0, 4.0, 6.0]
+
+    def test_phase_offsets_first_firing(self):
+        core = make_core("[source]\nid = s\ninterval = 2.0\nphase = 0.5\n\n[sink]\nid = k\ninput[a] = s.value\n")
+        core.run_until(5.0)
+        assert [t for t, _ in core.instance("k").seen] == [0.5, 2.5, 4.5]
+
+    def test_two_sources_interleave_in_time_order(self):
+        core = make_core(
+            "[source]\nid = a\ninterval = 2.0\n\n"
+            "[source]\nid = b\ninterval = 3.0\n\n"
+            "[sink]\nid = k\ninput[x] = a.value\ninput[y] = b.value\ntrigger = 1\n"
+        )
+        core.run_until(6.0)
+        times = [t for t, _ in core.instance("k").seen]
+        assert times == sorted(times)
+
+    def test_run_until_in_the_past_raises(self):
+        core = make_core("[source]\nid = s\n")
+        core.run_until(3.0)
+        with pytest.raises(SchedulerError, match="in the past"):
+            core.run_until(2.0)
+
+    def test_run_for_advances_relative(self):
+        core = make_core("[source]\nid = s\n\n[sink]\nid = k\ninput[a] = s.value\n")
+        core.run_for(2.0)
+        core.run_for(2.0)
+        assert core.clock.now() == 4.0
+        assert len(core.instance("k").seen) == 5
+
+    def test_clock_rests_at_end_time_even_without_events(self):
+        core = make_core("[source]\nid = s\ninterval = 100.0\n")
+        core.run_until(5.0)
+        assert core.clock.now() == 5.0
+
+
+class TestInputTriggering:
+    def test_downstream_runs_in_same_timestamp(self):
+        core = make_core(
+            "[source]\nid = s\n\n[double]\nid = d\ninput[input] = s.value\n\n"
+            "[sink]\nid = k\ninput[a] = d.value\n"
+        )
+        core.run_until(2.0)
+        assert core.instance("k").seen == [(0.0, 0), (1.0, 2), (2.0, 4)]
+
+    def test_default_trigger_waits_for_all_connections(self):
+        core = make_core(
+            "[source]\nid = a\ninterval = 1.0\n\n"
+            "[source]\nid = b\ninterval = 2.0\n\n"
+            "[sink]\nid = k\ninput[x] = a.value\ninput[y] = b.value\n"
+        )
+        core.run_until(4.0)
+        sink = core.instance("k")
+        # The default trigger is count-based: the sink runs after every
+        # 2 input updates.  a fires 5 times + b fires 3 times = 8 updates
+        # -> 4 triggered runs (not one per source tick).
+        assert len(sink.run_reasons) == 4
+        assert all(reason is RunReason.INPUTS for reason in sink.run_reasons)
+
+    def test_custom_trigger_fires_on_every_update(self):
+        core = make_core(
+            "[source]\nid = a\n\n[source]\nid = b\ninterval = 2.0\n\n"
+            "[sink]\nid = k\ninput[x] = a.value\ninput[y] = b.value\ntrigger = 1\n"
+        )
+        core.run_until(4.0)
+        # a fires 5 times, b fires 3 times -> 8 triggered runs.
+        assert len(core.instance("k").run_reasons) == 8
+
+    def test_manual_run_propagates(self):
+        core = make_core(
+            "[source]\nid = s\n\n[sink]\nid = k\ninput[a] = s.value\n"
+        )
+        core.run_instance("s")
+        assert core.instance("k").seen == [(0.0, 0)]
+
+    def test_manual_run_unknown_instance(self):
+        core = make_core("[source]\nid = s\n")
+        with pytest.raises(SchedulerError, match="no such instance"):
+            core.run_instance("ghost")
+
+
+class TestStopAndErrors:
+    def test_stop_exits_run_loop_early(self):
+        core = make_core("[source]\nid = s\n\n[sink]\nid = k\ninput[a] = s.value\n")
+
+        original_run = core.instance("k").run
+
+        def stopping_run(reason):
+            original_run(reason)
+            if len(core.instance("k").seen) >= 3:
+                core.stop()
+
+        core.instance("k").run = stopping_run
+        core.run_until(100.0)
+        assert len(core.instance("k").seen) == 3
+
+    def test_module_exception_propagates_by_default(self):
+        core = make_core("[source]\nid = s\n")
+
+        def broken_run(reason):
+            raise ValueError("boom")
+
+        core.instance("s").run = broken_run
+        with pytest.raises(ValueError, match="boom"):
+            core.run_until(1.0)
+
+    def test_error_hook_can_suppress(self):
+        core = make_core("[source]\nid = s\n")
+        failures = []
+
+        def broken_run(reason):
+            raise ValueError("boom")
+
+        core.instance("s").run = broken_run
+        core.scheduler.on_error = lambda inst, exc: failures.append(inst) or True
+        core.run_until(2.0)
+        assert failures == ["s", "s", "s"]
+
+    def test_total_runs_counted(self):
+        core = make_core("[source]\nid = s\n\n[sink]\nid = k\ninput[a] = s.value\n")
+        core.run_until(3.0)
+        assert core.scheduler.total_runs == 8  # 4 source + 4 sink
+
+    def test_next_deadline(self):
+        core = make_core("[source]\nid = s\ninterval = 2.0\nphase = 1.0\n")
+        assert core.scheduler.next_deadline() == 1.0
+
+
+class TestDeterminism:
+    def test_same_config_same_results(self):
+        def run():
+            core = make_core(
+                "[source]\nid = a\ninterval = 1.0\n\n"
+                "[double]\nid = d\ninput[input] = a.value\n\n"
+                "[sink]\nid = k\ninput[x] = d.value\n"
+            )
+            core.run_until(20.0)
+            return core.instance("k").seen
+
+        assert run() == run()

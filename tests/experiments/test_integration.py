@@ -1,0 +1,77 @@
+"""End-to-end integration: ASDF fingerpoints the injected culprit.
+
+These are the headline assertions of the whole reproduction, on scaled
+down runs: each detector catches the faults it is supposed to catch per
+the paper's Figure 7, and fault-free runs stay quiet.
+"""
+
+import pytest
+
+from repro.experiments import ScenarioConfig, run_scenario, shared_model
+
+
+@pytest.fixture(scope="module")
+def model():
+    config = ScenarioConfig(num_slaves=10, seed=31)
+    return shared_model(config, training_duration_s=200.0)
+
+
+def run(fault, model, seed=31, duration=720.0):
+    config = ScenarioConfig(
+        num_slaves=10,
+        duration_s=duration,
+        seed=seed,
+        fault_name=fault,
+        inject_time=240.0,
+    )
+    return run_scenario(config, model=model)
+
+
+@pytest.mark.slow
+class TestFingerpointing:
+    def test_fault_free_run_raises_no_alarms(self, model):
+        result = run(None, model)
+        assert result.alarms_bb == []
+        assert result.counts_wb.false_positive_rate < 0.05
+
+    def test_blackbox_catches_cpuhog(self, model):
+        result = run("CPUHog", model)
+        culprits = {a.node for a in result.alarms_bb}
+        assert result.truth.faulty_node in culprits
+        assert result.latency_bb is not None
+        assert result.latency_bb < 400.0
+
+    def test_map_hang_fingerpointed(self, model):
+        # Depending on cluster load, HADOOP-1036 surfaces through the
+        # black-box (CPU-spinning maps) or the white-box (pinned MapTask
+        # counts) -- the combined fingerpointer must catch it either way.
+        result = run("HADOOP-1036", model)
+        culprits = {a.node for a in result.alarms_all}
+        assert result.truth.faulty_node in culprits
+
+    def test_whitebox_catches_reduce_hang(self, model):
+        result = run("HADOOP-2080", model)
+        culprits = {a.node for a in result.alarms_wb}
+        assert result.truth.faulty_node in culprits
+        assert result.counts_wb.balanced_accuracy > 0.6
+
+    def test_combined_is_at_least_as_good_as_either(self, model):
+        result = run("CPUHog", model)
+        assert result.counts_all.balanced_accuracy >= min(
+            result.counts_bb.balanced_accuracy,
+            result.counts_wb.balanced_accuracy,
+        ) - 1e-9
+
+    def test_combined_alarms_are_union(self, model):
+        result = run("CPUHog", model)
+        combined = {(a.time, a.node, a.source) for a in result.alarms_all}
+        parts = {
+            (a.time, a.node, a.source)
+            for a in result.alarms_bb + result.alarms_wb
+        }
+        assert combined == parts
+
+    def test_packetloss_fingerpointed(self, model):
+        result = run("PacketLoss", model)
+        culprits = {a.node for a in result.alarms_bb + result.alarms_wb}
+        assert result.truth.faulty_node in culprits

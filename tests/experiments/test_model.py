@@ -1,0 +1,55 @@
+"""Tests for offline black-box model training."""
+
+import numpy as np
+
+from repro.experiments import collect_training_matrix, train_blackbox_model
+from repro.hadoop import ClusterConfig
+from repro.workloads import GridMixConfig
+
+
+class TestTrainingMatrix:
+    def test_shape_is_samples_by_catalog(self):
+        matrix = collect_training_matrix(
+            ClusterConfig(num_slaves=4, seed=1),
+            GridMixConfig(duration_s=60.0, seed=2),
+            duration_s=60.0,
+        )
+        # One sample per slave per second (minus the priming second).
+        assert matrix.shape == (4 * 59, 64)
+
+    def test_matrix_is_finite_and_nonnegative_mostly(self):
+        matrix = collect_training_matrix(
+            ClusterConfig(num_slaves=3, seed=1),
+            GridMixConfig(duration_s=40.0, seed=2),
+            duration_s=40.0,
+        )
+        assert np.isfinite(matrix).all()
+
+
+class TestTrainedModel:
+    def test_model_shapes(self, tiny_model):
+        assert tiny_model.centroids.shape == (6, 64)
+        assert tiny_model.sigma.shape == (64,)
+        assert tiny_model.num_states == 6
+
+    def test_sigma_positive(self, tiny_model):
+        assert (tiny_model.sigma > 0).all()
+
+    def test_centroids_distinct(self, tiny_model):
+        for i in range(tiny_model.num_states):
+            for j in range(i + 1, tiny_model.num_states):
+                assert not np.allclose(
+                    tiny_model.centroids[i], tiny_model.centroids[j]
+                )
+
+    def test_training_is_deterministic(self):
+        kwargs = dict(
+            cluster_config=ClusterConfig(num_slaves=3, seed=5),
+            duration_s=50.0,
+            num_states=4,
+            seed=2,
+        )
+        a = train_blackbox_model(**kwargs)
+        b = train_blackbox_model(**kwargs)
+        assert np.array_equal(a.centroids, b.centroids)
+        assert np.array_equal(a.sigma, b.sigma)

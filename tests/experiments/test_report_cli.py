@@ -1,0 +1,115 @@
+"""Tests for the ASCII report renderer and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import ScenarioConfig, run_scenario
+from repro.experiments.report import render_summary, render_timeline
+
+
+@pytest.fixture(scope="module")
+def fault_result(tiny_model):
+    config = ScenarioConfig(
+        num_slaves=5,
+        duration_s=360.0,
+        seed=13,
+        window=30,
+        slide=30,
+        fault_name="CPUHog",
+        inject_time=120.0,
+    )
+    return run_scenario(config, model=tiny_model)
+
+
+class TestTimeline:
+    def test_one_row_per_node(self, fault_result):
+        text = render_timeline(fault_result)
+        for node in (f"slave{i + 1:02d}" for i in range(5)):
+            assert node in text
+
+    def test_culprit_row_tagged(self, fault_result):
+        text = render_timeline(fault_result)
+        culprit_line = next(
+            line for line in text.splitlines() if fault_result.truth.faulty_node in line
+        )
+        assert "<- injected" in culprit_line
+
+    def test_injection_marker_row_present(self, fault_result):
+        assert "(fault injected)" in render_timeline(fault_result)
+
+    def test_grid_width_matches_window_count(self, fault_result):
+        windows = {
+            (d.window_start, d.window_end) for d in fault_result.decisions_wb
+        }
+        text = render_timeline(fault_result)
+        culprit_line = next(
+            line for line in text.splitlines()
+            if fault_result.truth.faulty_node in line
+        )
+        grid = culprit_line.split()[1]
+        assert len(grid) == len(windows)
+
+    def test_empty_result_renders_placeholder(self, tiny_model):
+        config = ScenarioConfig(
+            num_slaves=5, duration_s=20.0, seed=13, window=30, slide=30
+        )
+        result = run_scenario(config, model=tiny_model)
+        assert "no analysis windows" in render_timeline(result)
+
+
+class TestSummary:
+    def test_mentions_fault_and_detectors(self, fault_result):
+        text = render_summary(fault_result)
+        assert "CPUHog" in text
+        for detector in ("black-box", "white-box", "combined"):
+            assert detector in text
+
+    def test_fault_free_summary(self, tiny_model):
+        config = ScenarioConfig(
+            num_slaves=5, duration_s=120.0, seed=13, window=30, slide=30
+        )
+        result = run_scenario(config, model=tiny_model)
+        assert "fault: none" in render_summary(result)
+
+
+class TestCli:
+    def test_parser_knows_all_commands(self):
+        parser = build_parser()
+        for command in ("demo", "calibrate", "figure7", "overhead", "table2", "config"):
+            args = parser.parse_args(
+                [command] + (["--fault", "CPUHog"] if command == "demo" else [])
+            )
+            assert callable(args.handler)
+
+    def test_table2_command(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "HADOOP-1036" in out
+        assert "CPUHog" in out
+
+    def test_config_command_emits_parsable_config(self, capsys):
+        assert main(["config", "--slaves", "3"]) == 0
+        out = capsys.readouterr().out
+        from repro.core import parse_config
+
+        specs = parse_config(out)
+        assert any(spec.module_type == "analysis_bb" for spec in specs)
+
+    def test_demo_rejects_unknown_fault(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "--fault", "Gremlins"])
+
+    @pytest.mark.slow
+    def test_demo_end_to_end(self, capsys):
+        code = main(
+            [
+                "demo",
+                "--slaves", "8",
+                "--duration", "600",
+                "--fault", "HADOOP-2080",
+                "--inject", "200",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "fingerpointed correctly" in out
+        assert code == 0

@@ -1,0 +1,179 @@
+"""Tests for the assembled Hadoop cluster simulator."""
+
+import pytest
+
+from repro.hadoop import (
+    BugKind,
+    ClusterConfig,
+    ExternalLoad,
+    HadoopCluster,
+    JobCostModel,
+    JobSpec,
+    MB,
+)
+
+
+def small_cluster(num_slaves: int = 4, seed: int = 3) -> HadoopCluster:
+    return HadoopCluster(ClusterConfig(num_slaves=num_slaves, seed=seed))
+
+
+def quick_job(job_id: str = "200807070001_0001", input_mb: float = 64.0) -> JobSpec:
+    return JobSpec(
+        job_id=job_id,
+        name="quick",
+        input_bytes=input_mb * MB,
+        num_reduces=1,
+        cost=JobCostModel(map_mb_per_cpu_s=32.0, sort_mb_per_cpu_s=32.0,
+                          reduce_mb_per_cpu_s=32.0),
+    )
+
+
+class TestBasicOperation:
+    def test_cluster_has_master_and_slaves(self):
+        cluster = small_cluster(num_slaves=3)
+        assert cluster.slave_names == ["slave01", "slave02", "slave03"]
+        assert "master" in cluster.nodes
+
+    def test_job_runs_to_completion(self):
+        cluster = small_cluster()
+        cluster.submit_job(quick_job())
+        cluster.run_until(300.0)
+        assert cluster.jobs_succeeded() == 1
+
+    def test_logs_contain_lifecycle_lines(self):
+        cluster = small_cluster()
+        cluster.submit_job(quick_job())
+        cluster.run_until(300.0)
+        all_tt = "\n".join(
+            cluster.tt_logs[n].text() for n in cluster.slave_names
+        )
+        assert "LaunchTaskAction: task_200807070001_0001_m_000000_0" in all_tt
+        assert "Task task_200807070001_0001_r_000000_0 is done." in all_tt
+
+    def test_scheduled_jobs_submit_at_their_time(self):
+        cluster = small_cluster()
+        spec = quick_job()
+        spec.submit_time = 50.0
+        cluster.schedule_job(spec)
+        cluster.run_until(40.0)
+        assert len(cluster.jobtracker.jobs) == 0
+        cluster.run_until(60.0)
+        assert len(cluster.jobtracker.jobs) == 1
+
+    def test_time_advances_by_dt(self):
+        cluster = small_cluster()
+        cluster.step(1.0)
+        cluster.step(1.0)
+        assert cluster.time == 2.0
+
+    def test_determinism(self):
+        def run():
+            cluster = small_cluster(seed=9)
+            cluster.submit_job(quick_job())
+            cluster.run_until(120.0)
+            return cluster.tt_logs["slave01"].text(), cluster.procfs("slave01").cpu.user
+
+        first, second = run(), run()
+        assert first[0] == second[0]
+        assert first[1] == pytest.approx(second[1])
+
+    def test_procfs_counters_progress(self):
+        cluster = small_cluster()
+        cluster.submit_job(quick_job())
+        cluster.run_until(60.0)
+        fs = cluster.procfs("slave01")
+        assert fs.cpu.total() > 0.0
+        assert fs.stat.ctxt > 0.0
+
+
+class TestExternalLoads:
+    def test_cpu_load_consumes_cpu(self):
+        cluster = small_cluster()
+        cluster.add_external_load(
+            ExternalLoad(node="slave01", pid=9001, cpu_cores=3.0, start_time=0.0)
+        )
+        cluster.run_until(30.0)
+        fs = cluster.procfs("slave01")
+        busy_fraction = (fs.cpu.user + fs.cpu.system) / fs.cpu.total()
+        assert busy_fraction > 0.5
+
+    def test_disk_load_stops_after_budget(self):
+        budget = 50e6
+        load = ExternalLoad(
+            node="slave01",
+            pid=9002,
+            disk_write_bytes_s=100e6,
+            total_write_bytes=budget,
+            start_time=0.0,
+        )
+        cluster = small_cluster()
+        cluster.add_external_load(load)
+        cluster.run_until(30.0)
+        assert load.written_bytes == pytest.approx(budget, rel=0.02)
+        assert not load.active(cluster.time)
+
+    def test_load_respects_time_window(self):
+        load = ExternalLoad(
+            node="slave01", pid=9003, cpu_cores=1.0, start_time=10.0, end_time=20.0
+        )
+        assert not load.active(5.0)
+        assert load.active(15.0)
+        assert not load.active(25.0)
+
+    def test_hog_pid_allocator_unique(self):
+        cluster = small_cluster()
+        assert cluster.allocate_hog_pid() != cluster.allocate_hog_pid()
+
+
+class TestBugBoard:
+    def test_bug_active_only_in_window(self):
+        cluster = small_cluster()
+        cluster.set_bug("slave02", BugKind.MAP_HANG_1036, 100.0, 200.0)
+        assert cluster.bug_for("slave02", 50.0) is None
+        assert cluster.bug_for("slave02", 150.0) is BugKind.MAP_HANG_1036
+        assert cluster.bug_for("slave02", 250.0) is None
+
+    def test_bug_scoped_to_node(self):
+        cluster = small_cluster()
+        cluster.set_bug("slave02", BugKind.REDUCE_HANG_2080, 0.0)
+        assert cluster.bug_for("slave01", 10.0) is None
+
+    def test_open_ended_bug(self):
+        cluster = small_cluster()
+        cluster.set_bug("slave02", BugKind.SHUFFLE_FAIL_1152, 10.0)
+        assert cluster.bug_for("slave02", 1e9) is BugKind.SHUFFLE_FAIL_1152
+
+
+class TestScheduledActions:
+    def test_action_runs_at_time(self):
+        cluster = small_cluster()
+        fired = []
+        cluster.at(5.0, lambda c: fired.append(c.time))
+        cluster.run_until(4.0)
+        assert fired == []
+        cluster.run_until(6.0)
+        assert fired == [5.0]
+
+    def test_actions_run_in_time_order(self):
+        cluster = small_cluster()
+        fired = []
+        cluster.at(7.0, lambda c: fired.append("late"))
+        cluster.at(3.0, lambda c: fired.append("early"))
+        cluster.run_until(10.0)
+        assert fired == ["early", "late"]
+
+
+class TestFairness:
+    def test_work_spreads_across_slaves(self):
+        cluster = small_cluster(num_slaves=6)
+        for i in range(6):
+            spec = quick_job(job_id=f"200807070001_{i:04d}", input_mb=256.0)
+            cluster.submit_job(spec)
+        cluster.run_until(400.0)
+        launches = {
+            n: sum(
+                1 for r in cluster.tt_logs[n].records() if "LaunchTaskAction" in r.line
+            )
+            for n in cluster.slave_names
+        }
+        assert min(launches.values()) > 0

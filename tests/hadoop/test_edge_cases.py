@@ -1,0 +1,127 @@
+"""Corner cases of the cluster simulator."""
+
+import pytest
+
+from repro.hadoop import (
+    ClusterConfig,
+    HadoopCluster,
+    JobSpec,
+    JobStatus,
+    MB,
+)
+from repro.sim import NodeSpec
+
+
+def job(job_id="200807070001_0001", input_mb=64.0, reduces=1, **cost):
+    from repro.hadoop import JobCostModel
+
+    return JobSpec(
+        job_id=job_id,
+        name="edge",
+        input_bytes=input_mb * MB,
+        num_reduces=reduces,
+        cost=JobCostModel(**cost) if cost else JobCostModel(),
+    )
+
+
+class TestSmallClusters:
+    def test_single_slave_cluster_completes_jobs(self):
+        cluster = HadoopCluster(ClusterConfig(num_slaves=1, seed=2))
+        cluster.submit_job(job(input_mb=32.0))
+        cluster.run_until(300.0)
+        assert cluster.jobs_succeeded() == 1
+
+    def test_replication_clamps_to_cluster_size(self):
+        cluster = HadoopCluster(ClusterConfig(num_slaves=2, replication=3, seed=2))
+        cluster.submit_job(job())
+        cluster.run_until(300.0)
+        for block in cluster.namenode.blocks.values():
+            assert len(block.replicas) <= 2
+
+    def test_replication_one(self):
+        cluster = HadoopCluster(ClusterConfig(num_slaves=4, replication=1, seed=2))
+        cluster.submit_job(job(input_mb=128.0))
+        cluster.run_until(400.0)
+        assert cluster.jobs_succeeded() == 1
+
+
+class TestJobShapes:
+    def test_tiny_job_one_map_one_reduce(self):
+        cluster = HadoopCluster(ClusterConfig(num_slaves=3, seed=4))
+        cluster.submit_job(job(input_mb=1.0))
+        cluster.run_until(200.0)
+        assert cluster.jobs_succeeded() == 1
+
+    def test_map_only_output_ratio_zero(self):
+        cluster = HadoopCluster(ClusterConfig(num_slaves=3, seed=4))
+        cluster.submit_job(job(input_mb=64.0, map_output_ratio=0.0))
+        cluster.run_until(300.0)
+        assert cluster.jobs_succeeded() == 1
+
+    def test_many_reduces_for_few_maps(self):
+        cluster = HadoopCluster(ClusterConfig(num_slaves=3, seed=4))
+        cluster.submit_job(job(input_mb=64.0, reduces=6))
+        cluster.run_until(400.0)
+        assert cluster.jobs_succeeded() == 1
+
+    def test_empty_workload_idles_quietly(self):
+        cluster = HadoopCluster(ClusterConfig(num_slaves=3, seed=4))
+        cluster.run_until(120.0)
+        assert cluster.jobs_completed() == 0
+        fs = cluster.procfs("slave01")
+        busy = (fs.cpu.user + fs.cpu.system) / fs.cpu.total()
+        assert busy < 0.1
+        for node in cluster.slave_names:
+            assert len(cluster.tt_logs[node]) == 0
+
+    def test_two_jobs_fifo_ordering(self):
+        cluster = HadoopCluster(ClusterConfig(num_slaves=3, seed=4))
+        first = cluster.submit_job(job("200807070001_0001", input_mb=128.0))
+        second = cluster.submit_job(job("200807070001_0002", input_mb=128.0))
+        cluster.run_until(600.0)
+        assert first.status is JobStatus.SUCCEEDED
+        assert second.status is JobStatus.SUCCEEDED
+        assert first.finish_time <= second.finish_time
+
+
+class TestHardwareVariants:
+    def test_slow_disk_cluster_still_completes(self):
+        config = ClusterConfig(
+            num_slaves=3,
+            seed=4,
+            node_spec=NodeSpec(disk_read_mb_s=10.0, disk_write_mb_s=8.0),
+        )
+        cluster = HadoopCluster(config)
+        cluster.submit_job(job(input_mb=64.0))
+        cluster.run_until(600.0)
+        assert cluster.jobs_succeeded() == 1
+
+    def test_single_core_nodes(self):
+        config = ClusterConfig(
+            num_slaves=3, seed=4, node_spec=NodeSpec(cpu_cores=1.0)
+        )
+        cluster = HadoopCluster(config)
+        cluster.submit_job(job(input_mb=64.0))
+        cluster.run_until(900.0)
+        assert cluster.jobs_succeeded() == 1
+
+    def test_slow_network_throttles_but_completes(self):
+        config = ClusterConfig(
+            num_slaves=3, seed=4, node_spec=NodeSpec(nic_mbit_s=10.0)
+        )
+        cluster = HadoopCluster(config)
+        cluster.submit_job(job(input_mb=64.0, reduces=2))
+        cluster.run_until(900.0)
+        assert cluster.jobs_succeeded() == 1
+
+
+class TestFractionalTicks:
+    def test_half_second_ticks_match_whole_second_throughput(self):
+        def run(dt):
+            cluster = HadoopCluster(ClusterConfig(num_slaves=3, seed=4))
+            cluster.submit_job(job(input_mb=64.0))
+            while cluster.time < 300.0:
+                cluster.step(dt)
+            return cluster.jobs_succeeded()
+
+        assert run(0.5) == run(1.0) == 1

@@ -1,0 +1,125 @@
+"""Tests for the HDFS substrate."""
+
+import pytest
+
+from repro.hadoop import DaemonLog, DataNode, NameNode
+
+
+def make_hdfs(num_nodes: int = 5, replication: int = 3):
+    datanodes = {}
+    for i in range(num_nodes):
+        name = f"slave{i + 1:02d}"
+        log = DaemonLog(name, "datanode")
+        datanodes[name] = DataNode(name, log, ip=f"10.0.0.{i + 2}")
+    return NameNode(datanodes, replication=replication, seed=1), datanodes
+
+
+class TestAllocation:
+    def test_replica_count(self):
+        namenode, _ = make_hdfs()
+        block = namenode.allocate(1000.0)
+        assert len(block.replicas) == 3
+
+    def test_replicas_are_distinct_nodes(self):
+        namenode, _ = make_hdfs()
+        for _ in range(20):
+            block = namenode.allocate(1000.0)
+            assert len(set(block.replicas)) == len(block.replicas)
+
+    def test_preferred_node_gets_first_replica(self):
+        namenode, _ = make_hdfs()
+        block = namenode.allocate(1000.0, preferred="slave03")
+        assert block.replicas[0] == "slave03"
+
+    def test_replication_clamped_to_cluster_size(self):
+        namenode, _ = make_hdfs(num_nodes=2, replication=3)
+        block = namenode.allocate(1000.0)
+        assert len(block.replicas) == 2
+
+    def test_blocks_stored_on_datanodes(self):
+        namenode, datanodes = make_hdfs()
+        block = namenode.allocate(1000.0)
+        for node in block.replicas:
+            assert datanodes[node].has_block(block.block_id)
+
+    def test_block_ids_unique(self):
+        namenode, _ = make_hdfs()
+        ids = {namenode.allocate(10.0).block_id for _ in range(50)}
+        assert len(ids) == 50
+
+    def test_block_name_format(self):
+        namenode, _ = make_hdfs()
+        block = namenode.allocate(10.0)
+        assert block.name == f"blk_{block.block_id}"
+
+    def test_materialize_input(self):
+        namenode, _ = make_hdfs()
+        blocks = namenode.materialize_input([100.0, 200.0])
+        assert [b.size for b in blocks] == [100.0, 200.0]
+
+
+class TestReads:
+    def test_local_replica_preferred(self):
+        namenode, _ = make_hdfs()
+        block = namenode.allocate(1000.0, preferred="slave02")
+        assert namenode.choose_read_replica(block, "slave02") == "slave02"
+
+    def test_remote_read_picks_a_replica(self):
+        namenode, _ = make_hdfs(num_nodes=5, replication=2)
+        block = namenode.allocate(1000.0)
+        non_replica = next(
+            n for n in ("slave01", "slave02", "slave03", "slave04", "slave05")
+            if n not in block.replicas
+        )
+        chosen = namenode.choose_read_replica(block, non_replica)
+        assert chosen in block.replicas
+
+
+class TestLogsAndDeletion:
+    def test_serve_logs_served_block_line(self):
+        namenode, datanodes = make_hdfs()
+        block = namenode.allocate(1000.0)
+        serving = datanodes[block.replicas[0]]
+        serving.log_serve(block, "10.0.0.9", now=5.0)
+        assert f"Served block {block.name} to /10.0.0.9" in serving.log.records()[-1].line
+
+    def test_receive_logs_pair(self):
+        namenode, datanodes = make_hdfs()
+        block = namenode.allocate(500.0)
+        datanode = datanodes[block.replicas[0]]
+        datanode.log_receive_start(block, "10.0.0.9", now=1.0)
+        datanode.log_receive_end(block, "10.0.0.9", now=2.0)
+        lines = [r.line for r in datanode.log.records()]
+        assert any("Receiving block" in line for line in lines)
+        assert any("Received block" in line and "of size 500" in line for line in lines)
+
+    def test_delete_removes_and_logs_everywhere(self):
+        namenode, datanodes = make_hdfs()
+        block = namenode.allocate(1000.0)
+        replicas = list(block.replicas)
+        namenode.delete_block(block, now=9.0)
+        assert block.block_id not in namenode.blocks
+        for node in replicas:
+            assert not datanodes[node].has_block(block.block_id)
+            assert any(
+                "Deleting block" in r.line for r in datanodes[node].log.records()
+            )
+
+    def test_double_delete_is_safe(self):
+        namenode, datanodes = make_hdfs()
+        block = namenode.allocate(1000.0)
+        namenode.delete_block(block, now=1.0)
+        namenode.delete_block(block, now=2.0)  # no error, no extra log
+        deleting_lines = sum(
+            1
+            for dn in datanodes.values()
+            for r in dn.log.records()
+            if "Deleting block" in r.line
+        )
+        assert deleting_lines == 3
+
+
+def test_allocation_without_datanodes_raises():
+    namenode = NameNode({}, replication=3, seed=0)
+    with pytest.raises(RuntimeError):
+        namenode.allocate(10.0)

@@ -1,0 +1,119 @@
+"""Property-based invariants of the Hadoop simulator.
+
+Randomized (seeded) workloads are pushed through the whole cluster; the
+invariants below must hold for every schedule:
+
+* succeeded jobs have every task succeeded and every map output placed;
+* log timestamps are non-decreasing within each daemon log;
+* per-tracker concurrency never exceeds the configured slots;
+* launch lines dominate completion lines on every node;
+* HDFS replica sets stay distinct and within the replication factor.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hadoop import (
+    ClusterConfig,
+    HadoopCluster,
+    JobSpec,
+    JobStatus,
+    MB,
+    TaskStatus,
+)
+
+
+@st.composite
+def workloads(draw):
+    jobs = draw(st.integers(1, 4))
+    specs = []
+    for index in range(jobs):
+        size_mb = draw(st.floats(16.0, 512.0))
+        reduces = draw(st.integers(1, 4))
+        submit = draw(st.floats(0.0, 120.0))
+        spec = JobSpec(
+            job_id=f"200807070001_{index:04d}",
+            name=f"job{index}",
+            input_bytes=size_mb * MB,
+            num_reduces=reduces,
+        )
+        spec.submit_time = submit
+        specs.append(spec)
+    return specs
+
+
+@given(specs=workloads(), seed=st.integers(0, 50))
+@settings(max_examples=15, deadline=None)
+def test_cluster_invariants_hold_for_any_workload(specs, seed):
+    cluster = HadoopCluster(ClusterConfig(num_slaves=4, seed=seed))
+    for spec in specs:
+        cluster.schedule_job(spec)
+
+    max_running = {node: 0 for node in cluster.slave_names}
+
+    def on_tick(c):
+        for node in c.slave_names:
+            max_running[node] = max(
+                max_running[node], len(c.trackers[node].running)
+            )
+
+    cluster.run_until(700.0, on_tick=on_tick)
+
+    # Concurrency bounded by slots.
+    for node, peak in max_running.items():
+        tracker = cluster.trackers[node]
+        assert peak <= tracker.map_slots + tracker.reduce_slots
+
+    # Jobs finish (no faults injected) with complete task sets.
+    for job in cluster.jobtracker.completed_jobs:
+        assert job.status is JobStatus.SUCCEEDED
+        assert all(t.status is TaskStatus.SUCCEEDED for t in job.maps)
+        assert all(t.status is TaskStatus.SUCCEEDED for t in job.reduces)
+        assert set(job.map_outputs) == set(range(len(job.maps)))
+
+    for node in cluster.slave_names:
+        for log in (cluster.tt_logs[node], cluster.dn_logs[node]):
+            times = [record.time for record in log.records()]
+            assert times == sorted(times)
+        launches = sum(
+            1
+            for record in cluster.tt_logs[node].records()
+            if "LaunchTaskAction" in record.line
+        )
+        dones = sum(
+            1
+            for record in cluster.tt_logs[node].records()
+            if "is done" in record.line
+        )
+        assert dones <= launches
+
+    # HDFS replicas: distinct nodes, within the replication factor.
+    for block in cluster.namenode.blocks.values():
+        assert len(set(block.replicas)) == len(block.replicas)
+        assert len(block.replicas) <= cluster.config.replication
+
+
+@given(seed=st.integers(0, 30))
+@settings(max_examples=10, deadline=None)
+def test_simulation_is_a_pure_function_of_its_seed(seed):
+    def run():
+        cluster = HadoopCluster(ClusterConfig(num_slaves=3, seed=seed))
+        cluster.submit_job(
+            JobSpec(
+                job_id="200807070001_0001",
+                name="job",
+                input_bytes=128.0 * MB,
+                num_reduces=2,
+            )
+        )
+        cluster.run_until(200.0)
+        return (
+            cluster.tt_logs["slave01"].text(),
+            cluster.procfs("slave02").cpu.user,
+            cluster.jobs_completed(),
+        )
+
+    first = run()
+    second = run()
+    assert first[0] == second[0]
+    assert first[1] == second[1]
+    assert first[2] == second[2]

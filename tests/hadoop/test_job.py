@@ -1,0 +1,65 @@
+"""Tests for job specs and task id handling."""
+
+import pytest
+
+from repro.hadoop import BLOCK_SIZE, MB, JobCostModel, JobSpec, TaskKind, parse_task_id, task_id
+
+
+def make_spec(input_mb: float, reduces: int = 2) -> JobSpec:
+    return JobSpec(
+        job_id="200807070001_0001",
+        name="test",
+        input_bytes=input_mb * MB,
+        num_reduces=reduces,
+    )
+
+
+class TestJobSpec:
+    def test_one_map_per_block(self):
+        assert make_spec(64.0).num_maps == 1
+        assert make_spec(65.0).num_maps == 2
+        assert make_spec(256.0).num_maps == 4
+
+    def test_tiny_job_has_one_map(self):
+        assert make_spec(0.5).num_maps == 1
+
+    def test_full_blocks_sized_at_block_size(self):
+        spec = make_spec(130.0)
+        assert spec.map_input_bytes(0) == BLOCK_SIZE
+        assert spec.map_input_bytes(1) == BLOCK_SIZE
+
+    def test_last_block_holds_remainder(self):
+        spec = make_spec(130.0)
+        assert spec.map_input_bytes(2) == pytest.approx(2.0 * MB)
+
+    def test_exact_multiple_has_no_remainder_block(self):
+        spec = make_spec(128.0)
+        assert spec.num_maps == 2
+        assert spec.map_input_bytes(1) == BLOCK_SIZE
+
+    def test_cost_model_defaults(self):
+        cost = JobCostModel()
+        assert cost.task_cpu_cores == 1.0
+        assert cost.map_output_ratio == 1.0
+
+
+class TestTaskIds:
+    def test_render_matches_hadoop_format(self):
+        rendered = task_id("200807070001_0001", TaskKind.MAP, 96, 0)
+        assert rendered == "task_200807070001_0001_m_000096_0"
+
+    def test_round_trip(self):
+        rendered = task_id("200807070001_0002", TaskKind.REDUCE, 3, 1)
+        job, kind, index, attempt = parse_task_id(rendered)
+        assert job == "200807070001_0002"
+        assert kind is TaskKind.REDUCE
+        assert index == 3
+        assert attempt == 1
+
+    def test_parse_rejects_non_task(self):
+        with pytest.raises(ValueError):
+            parse_task_id("attempt_123_m_0_0")
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_task_id("task_only")

@@ -1,0 +1,225 @@
+"""Tests for the SALSA-style log parser (paper section 4.4, Figure 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hadoop import (
+    ClusterConfig,
+    HadoopCluster,
+    JobSpec,
+    MB,
+    NodeLogParser,
+    WHITEBOX_STATE_INDEX,
+    WHITEBOX_STATES,
+    format_line,
+)
+from repro.hadoop.logs import DATANODE_CLASS, TASKTRACKER_CLASS
+
+
+def tt_line(t: float, message: str) -> str:
+    return format_line(t, "INFO", TASKTRACKER_CLASS, message)
+
+
+def dn_line(t: float, message: str) -> str:
+    return format_line(t, "INFO", DATANODE_CLASS, message)
+
+
+def state(vector: np.ndarray, name: str) -> float:
+    return vector[WHITEBOX_STATE_INDEX[name]]
+
+
+class TestFigure5Semantics:
+    def test_paper_figure5_snippet(self):
+        """The exact scenario from the paper's Figure 5: a map launch at
+        14:23:15 and a reduce launch at 14:23:16 produce MapTask=1 at the
+        first instant and MapTask=1, ReduceTask=1 at the second."""
+        parser = NodeLogParser("slave01")
+        base = 23 * 60 + 15  # 14:23:15 relative to the 14:00:00 epoch
+        parser.feed_line(tt_line(base, "LaunchTaskAction: task_0001_m_000096_0"))
+        parser.feed_line(tt_line(base + 1, "LaunchTaskAction: task_0001_r_000003_0"))
+        first = parser.state_vector(base)
+        second = parser.state_vector(base + 1)
+        assert state(first, "MapTask") == 1 and state(first, "ReduceTask") == 0
+        assert state(second, "MapTask") == 1 and state(second, "ReduceTask") == 1
+
+    def test_map_interval_closes_on_done(self):
+        parser = NodeLogParser("n")
+        parser.feed_line(tt_line(10, "LaunchTaskAction: task_0001_m_000000_0"))
+        parser.feed_line(tt_line(40, "Task task_0001_m_000000_0 is done."))
+        assert state(parser.state_vector(10), "MapTask") == 1
+        assert state(parser.state_vector(39), "MapTask") == 1
+        assert state(parser.state_vector(40), "MapTask") == 0
+
+    def test_removed_task_also_closes_interval(self):
+        parser = NodeLogParser("n")
+        parser.feed_line(tt_line(10, "LaunchTaskAction: task_0001_m_000000_0"))
+        parser.feed_line(
+            tt_line(30, "Removing task 'task_0001_m_000000_0' from running tasks")
+        )
+        assert state(parser.state_vector(35), "MapTask") == 0
+
+    def test_concurrent_tasks_counted(self):
+        parser = NodeLogParser("n")
+        for i in range(3):
+            parser.feed_line(tt_line(5, f"LaunchTaskAction: task_0001_m_{i:06d}_0"))
+        assert state(parser.state_vector(6), "MapTask") == 3
+
+
+class TestReducePhases:
+    def _start_reduce(self, parser, t=0):
+        parser.feed_line(tt_line(t, "LaunchTaskAction: task_0001_r_000001_0"))
+
+    def test_reduce_defaults_to_copy_phase(self):
+        parser = NodeLogParser("n")
+        self._start_reduce(parser)
+        vector = parser.state_vector(1)
+        assert state(vector, "ReduceTask") == 1
+        assert state(vector, "ReduceCopy") == 1
+
+    def test_phase_transitions_follow_progress_lines(self):
+        parser = NodeLogParser("n")
+        self._start_reduce(parser, t=0)
+        parser.feed_line(
+            tt_line(5, "task_0001_r_000001_0 0.10% reduce > copy (1 of 4 at 1.00 MB/s) >")
+        )
+        parser.feed_line(tt_line(20, "task_0001_r_000001_0 0.50% reduce > sort"))
+        parser.feed_line(tt_line(30, "task_0001_r_000001_0 0.80% reduce > reduce"))
+        assert state(parser.state_vector(10), "ReduceCopy") == 1
+        assert state(parser.state_vector(25), "ReduceSort") == 1
+        assert state(parser.state_vector(35), "ReduceReduce") == 1
+        # Exactly one phase at a time.
+        for second in (10, 25, 35):
+            vector = parser.state_vector(second)
+            phases = (
+                state(vector, "ReduceCopy")
+                + state(vector, "ReduceSort")
+                + state(vector, "ReduceReduce")
+            )
+            assert phases == 1
+
+    def test_phase_state_ends_with_task(self):
+        parser = NodeLogParser("n")
+        self._start_reduce(parser, t=0)
+        parser.feed_line(tt_line(10, "task_0001_r_000001_0 0.80% reduce > reduce"))
+        parser.feed_line(tt_line(20, "Task task_0001_r_000001_0 is done."))
+        assert state(parser.state_vector(25), "ReduceReduce") == 0
+
+
+class TestDataNodeStates:
+    def test_write_block_interval(self):
+        parser = NodeLogParser("n")
+        parser.feed_line(
+            dn_line(10, "Receiving block blk_1001 src: /10.0.0.1:50010 dest: /10.0.0.2:50010")
+        )
+        parser.feed_line(dn_line(30, "Received block blk_1001 of size 1000 from /10.0.0.1"))
+        assert state(parser.state_vector(15), "WriteBlock") == 1
+        assert state(parser.state_vector(30), "WriteBlock") == 0
+
+    def test_read_block_is_instant(self):
+        parser = NodeLogParser("n")
+        parser.feed_line(dn_line(12.3, "10.0.0.2:50010 Served block blk_1002 to /10.0.0.5"))
+        assert state(parser.state_vector(12), "ReadBlock") == 1
+        assert state(parser.state_vector(13), "ReadBlock") == 0
+
+    def test_delete_block_is_instant(self):
+        parser = NodeLogParser("n")
+        parser.feed_line(
+            dn_line(50, "Deleting block blk_1003 file /hadoop/dfs/data/current/blk_1003")
+        )
+        assert state(parser.state_vector(50), "DeleteBlock") == 1
+        assert state(parser.state_vector(51), "DeleteBlock") == 0
+
+    def test_multiple_reads_in_one_second(self):
+        parser = NodeLogParser("n")
+        for i in range(3):
+            parser.feed_line(
+                dn_line(7.0 + i * 0.2, f"x Served block blk_{2000 + i} to /10.0.0.5")
+            )
+        assert state(parser.state_vector(7), "ReadBlock") == 3
+
+
+class TestRobustness:
+    def test_unknown_lines_are_skipped(self):
+        parser = NodeLogParser("n")
+        parser.feed_line("complete garbage")
+        parser.feed_line(format_line(1.0, "INFO", "org.apache.hadoop.ipc.Server", "noise"))
+        assert parser.lines_skipped == 2
+        assert parser.lines_parsed == 0
+
+    def test_done_without_launch_is_ignored(self):
+        parser = NodeLogParser("n")
+        parser.feed_line(tt_line(5, "Task task_0001_m_000000_0 is done."))
+        assert state(parser.state_vector(5), "MapTask") == 0
+
+    def test_watermark_tracks_latest_time(self):
+        parser = NodeLogParser("n")
+        assert parser.watermark() is None
+        parser.feed_line(tt_line(10, "LaunchTaskAction: task_0001_m_000000_0"))
+        parser.feed_line(tt_line(5, "LaunchTaskAction: task_0001_m_000001_0"))
+        assert parser.watermark() == 10.0
+
+    def test_prune_preserves_counts_after_cutoff(self):
+        parser = NodeLogParser("n")
+        parser.feed_line(tt_line(0, "LaunchTaskAction: task_0001_m_000000_0"))
+        parser.feed_line(tt_line(10, "Task task_0001_m_000000_0 is done."))
+        parser.feed_line(tt_line(20, "LaunchTaskAction: task_0001_m_000001_0"))
+        before = parser.state_vector(25).copy()
+        parser.prune(15.0)
+        assert np.array_equal(parser.state_vector(25), before)
+
+    def test_state_vectors_matrix_shape(self):
+        parser = NodeLogParser("n")
+        matrix = parser.state_vectors(0, 10)
+        assert matrix.shape == (10, len(WHITEBOX_STATES))
+
+
+class TestAgainstSimulator:
+    def test_parser_counts_match_actual_running_attempts(self):
+        cluster = HadoopCluster(ClusterConfig(num_slaves=4, seed=5))
+        cluster.submit_job(
+            JobSpec(
+                job_id="200807070001_0001",
+                name="job",
+                input_bytes=256.0 * MB,
+                num_reduces=2,
+            )
+        )
+        running = {n: [] for n in cluster.slave_names}
+
+        def on_tick(c):
+            for n in c.slave_names:
+                running[n].append(len(c.trackers[n].running))
+
+        cluster.run_until(200.0, on_tick=on_tick)
+        for node in cluster.slave_names:
+            parser = NodeLogParser(node)
+            for record in cluster.tt_logs[node].records():
+                parser.feed_line(record.line)
+            for second in range(0, 200, 7):
+                vector = parser.state_vector(second)
+                observed = state(vector, "MapTask") + state(vector, "ReduceTask")
+                assert observed == running[node][second]
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 50), st.integers(1, 60), st.integers(0, 20)),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_property_counts_are_bounded_by_launches(tasks):
+    """For any launch/done schedule, per-second counts are within
+    [0, number of launches] and never negative."""
+    parser = NodeLogParser("n")
+    events = []
+    for index, (start, duration, _) in enumerate(tasks):
+        events.append((start, f"LaunchTaskAction: task_0001_m_{index:06d}_0"))
+        events.append((start + duration, f"Task task_0001_m_{index:06d}_0 is done."))
+    events.sort(key=lambda e: e[0])
+    for t, message in events:
+        parser.feed_line(tt_line(float(t), message))
+    for second in range(0, 120, 5):
+        count = state(parser.state_vector(second), "MapTask")
+        assert 0 <= count <= len(tasks)

@@ -1,0 +1,82 @@
+"""Tests for Hadoop log formatting and the DaemonLog store."""
+
+import pytest
+
+from repro.hadoop import (
+    DaemonLog,
+    TASKTRACKER_CLASS,
+    format_line,
+    format_timestamp,
+    parse_timestamp,
+)
+
+
+class TestTimestamps:
+    def test_round_trip_whole_seconds(self):
+        assert parse_timestamp(format_timestamp(125.0)) == pytest.approx(125.0)
+
+    def test_round_trip_with_milliseconds(self):
+        assert parse_timestamp(format_timestamp(3.25)) == pytest.approx(3.25)
+
+    def test_matches_paper_figure5_format(self):
+        # Figure 5: "2008-04-15 14:23:15,324"
+        text = format_timestamp(23 * 60 + 15 + 0.324)
+        assert text == "2008-04-15 14:23:15,324"
+
+    def test_parse_without_millis(self):
+        assert parse_timestamp("2008-04-15 14:00:10") == pytest.approx(10.0)
+
+    def test_parse_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_timestamp("not a timestamp")
+
+
+class TestFormatLine:
+    def test_full_line_shape(self):
+        line = format_line(0.0, "INFO", TASKTRACKER_CLASS, "LaunchTaskAction: task_x")
+        assert line == (
+            "2008-04-15 14:00:00,000 INFO org.apache.hadoop.mapred.TaskTracker: "
+            "LaunchTaskAction: task_x"
+        )
+
+
+class TestDaemonLog:
+    def test_append_and_records(self):
+        log = DaemonLog("slave01", "tasktracker")
+        log.append(1.0, "INFO", TASKTRACKER_CLASS, "hello")
+        assert len(log) == 1
+        assert log.records()[0].time == 1.0
+        assert "hello" in log.records()[0].line
+
+    def test_read_from_returns_new_records_and_offset(self):
+        log = DaemonLog("slave01", "tasktracker")
+        for i in range(3):
+            log.append(float(i), "INFO", TASKTRACKER_CLASS, f"line{i}")
+        records, offset = log.read_from(0)
+        assert len(records) == 3 and offset == 3
+        log.append(3.0, "INFO", TASKTRACKER_CLASS, "line3")
+        records, offset = log.read_from(offset)
+        assert len(records) == 1 and offset == 4
+
+    def test_read_from_negative_offset(self):
+        log = DaemonLog("slave01", "tasktracker")
+        log.append(0.0, "INFO", TASKTRACKER_CLASS, "x")
+        records, offset = log.read_from(-5)
+        assert len(records) == 1
+
+    def test_read_from_past_end_is_empty(self):
+        log = DaemonLog("slave01", "tasktracker")
+        records, offset = log.read_from(10)
+        assert records == [] and offset == 0
+
+    def test_text_joins_lines(self):
+        log = DaemonLog("slave01", "tasktracker")
+        log.append(0.0, "INFO", TASKTRACKER_CLASS, "a")
+        log.append(1.0, "WARN", TASKTRACKER_CLASS, "b")
+        assert log.text().count("\n") == 1
+
+    def test_last_time(self):
+        log = DaemonLog("slave01", "tasktracker")
+        assert log.last_time() is None
+        log.append(9.0, "INFO", TASKTRACKER_CLASS, "x")
+        assert log.last_time() == 9.0

@@ -1,0 +1,72 @@
+"""Tests for the ibuffer rate-matching module."""
+
+import pytest
+
+from repro.core import ConfigError
+
+from .helpers import build_core, collected
+
+
+def make_core(values, size=3, slide=None):
+    slide_line = f"slide = {slide}\n" if slide is not None else ""
+    config = (
+        "[scripted]\nid = src\n\n"
+        f"[ibuffer]\nid = buf\ninput[input] = src.value\nsize = {size}\n{slide_line}\n"
+        "[print]\nid = sink\ninput[a] = buf.output0\n"
+    )
+    return build_core(config, {"script": {"src": values}})
+
+
+class TestBatching:
+    def test_emits_batches_of_size(self):
+        core = make_core(list(range(7)), size=3)
+        core.run_until(6.0)
+        assert collected(core, "sink") == [[0, 1, 2], [3, 4, 5]]
+
+    def test_tumbling_default_slide(self):
+        core = make_core(list(range(6)), size=2)
+        core.run_until(5.0)
+        assert collected(core, "sink") == [[0, 1], [2, 3], [4, 5]]
+
+    def test_sliding_batches(self):
+        core = make_core(list(range(5)), size=3, slide=1)
+        core.run_until(4.0)
+        assert collected(core, "sink") == [[0, 1, 2], [1, 2, 3], [2, 3, 4]]
+
+    def test_batches_emitted_counter(self):
+        core = make_core(list(range(9)), size=3)
+        core.run_until(8.0)
+        assert core.instance("buf").batches_emitted == 3
+
+    def test_incomplete_tail_not_emitted(self):
+        core = make_core(list(range(4)), size=3)
+        core.run_until(3.0)
+        assert collected(core, "sink") == [[0, 1, 2]]
+
+    def test_origin_propagates_from_upstream(self):
+        config = (
+            "[scripted]\nid = src\nnode = slave07\n\n"
+            "[ibuffer]\nid = buf\ninput[input] = src.value\nsize = 2\n"
+        )
+        core = build_core(config, {"script": {"src": [1, 2]}})
+        assert core.dag.contexts["buf"].outputs["output0"].origin.node == "slave07"
+
+
+class TestValidation:
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigError, match="size"):
+            make_core([1], size=0)
+
+    def test_slide_larger_than_size_rejected(self):
+        with pytest.raises(ConfigError, match="slide"):
+            make_core([1], size=2, slide=3)
+
+    def test_requires_single_input(self):
+        config = (
+            "[scripted]\nid = a\n\n[scripted]\nid = b\n\n"
+            "[ibuffer]\nid = buf\ninput[input] = a.value\ninput[input] = b.value\nsize = 2\n"
+        )
+        from repro.core import ModuleError
+
+        with pytest.raises(ModuleError, match="exactly one"):
+            build_core(config, {"script": {"a": [1], "b": [1]}})

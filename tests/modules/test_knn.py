@@ -1,0 +1,81 @@
+"""Tests for the knn 1-NN classification module."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConfigError
+
+from .helpers import build_core, collected, vector_series
+
+
+class Model:
+    """Bare centroids + sigma, as produced by offline training."""
+
+    def __init__(self, centroids, sigma):
+        self.centroids = np.asarray(centroids, dtype=float)
+        self.sigma = np.asarray(sigma, dtype=float)
+
+
+def make_core(values, model, k=1):
+    config = (
+        "[scripted]\nid = src\nnode = slave01\n\n"
+        f"[knn]\nid = nn\ninput[input] = src.value\nmodel = bb_model\nk = {k}\n\n"
+        "[print]\nid = sink\ninput[a] = nn.output0\n"
+    )
+    return build_core(config, {"script": {"src": values}, "bb_model": model})
+
+
+class TestClassification:
+    def test_scaled_log_distance_classification(self):
+        """The paper's transform: s' = log(1+s)/sigma, then Euclidean 1-NN."""
+        sigma = np.array([1.0, 2.0])
+        # Centroids live in scaled-log space.
+        idle = np.log1p(np.array([0.0, 0.0])) / sigma
+        busy = np.log1p(np.array([100.0, 1000.0])) / sigma
+        model = Model([idle, busy], sigma)
+        core = make_core(
+            vector_series([[0.5, 1.0], [90.0, 900.0]]), model
+        )
+        core.run_until(1.0)
+        assert collected(core, "sink") == [0, 1]
+
+    def test_negative_inputs_clamped_before_log(self):
+        model = Model([[0.0], [5.0]], [1.0])
+        core = make_core(vector_series([[-100.0]]), model)
+        core.run_until(0.0)
+        assert collected(core, "sink") == [0]
+
+    def test_k_greater_than_one_returns_ordered_list(self):
+        model = Model([[0.0], [1.0], [10.0]], [1.0])
+        core = make_core(vector_series([[np.expm1(0.9)]]), model, k=2)
+        core.run_until(0.0)
+        (result,) = collected(core, "sink")
+        assert result == [1, 0]
+
+    def test_counts_samples(self):
+        model = Model([[0.0], [5.0]], [1.0])
+        core = make_core(vector_series([[1.0]] * 4), model)
+        core.run_until(3.0)
+        assert core.instance("nn").samples_classified == 4
+
+    def test_origin_propagates(self):
+        model = Model([[0.0]], [1.0])
+        core = make_core(vector_series([[1.0]]), model)
+        assert core.dag.contexts["nn"].outputs["output0"].origin.node == "slave01"
+
+
+class TestValidation:
+    def test_sigma_dimension_mismatch(self):
+        model = Model([[0.0, 0.0]], [1.0])  # 2-D centroids, 1-D sigma
+        with pytest.raises(ConfigError, match="sigma shape"):
+            make_core(vector_series([[1.0, 1.0]]), model)
+
+    def test_k_out_of_range(self):
+        model = Model([[0.0], [1.0]], [1.0])
+        with pytest.raises(ConfigError, match="out of range"):
+            make_core(vector_series([[1.0]]), model, k=5)
+
+    def test_centroids_must_be_matrix(self):
+        model = Model([0.0, 1.0], [1.0])
+        with pytest.raises(ConfigError, match="2-D"):
+            make_core(vector_series([[1.0]]), model)

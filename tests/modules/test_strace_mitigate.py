@@ -1,0 +1,193 @@
+"""Tests for the section 5 extensions: strace tracing and mitigation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Alarm
+from repro.core import ConfigError
+from repro.modules import js_divergence
+from repro.modules.strace import STRACE_CHANNEL_SERVICE
+
+from .helpers import FakeChannel, build_core
+
+
+class TestJsDivergence:
+    def test_identical_distributions_are_zero(self):
+        p = np.array([0.5, 0.3, 0.2])
+        assert js_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_disjoint_distributions_hit_the_bound(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert js_divergence(p, q) == pytest.approx(np.log(2.0), rel=1e-3)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        p, q = rng.dirichlet(np.ones(5)), rng.dirichlet(np.ones(5))
+        assert js_divergence(p, q) == pytest.approx(js_divergence(q, p))
+
+    def test_unnormalized_inputs_accepted(self):
+        assert js_divergence([10, 10], [1, 1]) == pytest.approx(0.0, abs=1e-9)
+
+
+def io_heavy(n):
+    # read-dominated distribution.
+    return [np.array([50.0, 20.0, 5, 5, 10, 5, 0, 2, 2, 1]) for _ in range(n)]
+
+
+def spin_heavy(n):
+    # futex/yield-dominated: an infinite loop's profile.
+    return [np.array([0.5, 0.5, 0, 0, 40.0, 10.0, 0, 1, 1, 30.0]) for _ in range(n)]
+
+
+class TestSyscallAnomalyModule:
+    def make_core(self, values, window=5, baseline_windows=2, threshold=0.15):
+        config = (
+            "[scripted]\nid = src\nnode = slave01\n\n"
+            "[syscall_anomaly]\nid = anom\ninput[s] = src.value\n"
+            f"window = {window}\nbaseline_windows = {baseline_windows}\n"
+            f"threshold = {threshold}\n\n"
+            "[print]\nid = alarms\ninput[a] = anom.alarms\n\n"
+            "[print]\nid = divs\ninput[a] = anom.divergence\n"
+        )
+        return build_core(config, {"script": {"src": values}})
+
+    def test_stable_behaviour_stays_quiet(self):
+        core = self.make_core(io_heavy(30))
+        core.run_until(29.0)
+        assert core.instance("alarms").alarms == []
+        assert core.instance("anom").windows_scored == 4  # 6 windows - 2 baseline
+
+    def test_behaviour_shift_alarms(self):
+        values = io_heavy(15) + spin_heavy(15)
+        core = self.make_core(values)
+        core.run_until(29.0)
+        alarms = core.instance("alarms").alarms
+        assert alarms
+        assert alarms[0].node == "slave01"
+        assert alarms[0].source == "strace"
+
+    def test_divergence_stream_emitted(self):
+        core = self.make_core(io_heavy(30))
+        core.run_until(29.0)
+        divergences = [s.value for s in core.instance("divs").received]
+        assert len(divergences) == 4
+        assert all(d < 0.05 for d in divergences)
+
+    def test_baseline_windows_not_scored(self):
+        core = self.make_core(io_heavy(10), baseline_windows=2, window=5)
+        core.run_until(9.0)
+        assert core.instance("anom").windows_scored == 0
+
+
+class TestStraceModule:
+    def test_polls_and_emits_vectors(self):
+        responses = iter([None] + [[1.0] * 10] * 5)
+        channel = FakeChannel({"trace": lambda now: next(responses)})
+        config = (
+            "[strace]\nid = st\nnode = slave01\n\n"
+            "[print]\nid = sink\ninput[a] = st.counts\n"
+        )
+        core = build_core(config, {STRACE_CHANNEL_SERVICE: {"slave01": channel}})
+        core.run_until(4.0)
+        module = core.instance("st")
+        assert module.priming_skips == 1
+        assert module.samples_collected == 4
+        assert core.instance("sink").received[0].value.shape == (10,)
+
+    def test_missing_channel_rejected(self):
+        config = "[strace]\nid = st\nnode = slave99\n"
+        with pytest.raises(ConfigError, match="no channel"):
+            build_core(config, {STRACE_CHANNEL_SERVICE: {}})
+
+
+class FakeController:
+    def __init__(self):
+        self.calls = []
+
+    def mitigate(self, node, now):
+        self.calls.append((node, now))
+
+
+class TestMitigationModule:
+    def make_core(self, alarms, min_alarms=2):
+        controller = FakeController()
+        config = (
+            "[scripted]\nid = src\n\n"
+            f"[mitigate]\nid = m\ninput[a] = src.value\nmin_alarms = {min_alarms}\n\n"
+            "[print]\nid = sink\ninput[a] = m.actions\n"
+        )
+        core = build_core(
+            config,
+            {"script": {"src": alarms}, "mitigation_controller": controller},
+        )
+        return core, controller
+
+    def test_acts_after_min_alarms(self):
+        alarms = [Alarm(time=float(i), node="bad") for i in range(4)]
+        core, controller = self.make_core(alarms, min_alarms=2)
+        core.run_until(3.0)
+        assert controller.calls == [("bad", 1.0)]
+
+    def test_acts_once_per_node(self):
+        alarms = [Alarm(time=float(i), node="bad") for i in range(10)]
+        core, controller = self.make_core(alarms, min_alarms=1)
+        core.run_until(9.0)
+        assert len(controller.calls) == 1
+
+    def test_separate_nodes_act_independently(self):
+        alarms = [
+            Alarm(time=0.0, node="x"),
+            Alarm(time=1.0, node="y"),
+            Alarm(time=2.0, node="x"),
+            Alarm(time=3.0, node="y"),
+        ]
+        core, controller = self.make_core(alarms, min_alarms=2)
+        core.run_until(3.0)
+        assert {node for node, _ in controller.calls} == {"x", "y"}
+
+    def test_non_alarm_values_ignored(self):
+        core, controller = self.make_core(["noise", 42], min_alarms=1)
+        core.run_until(1.0)
+        assert controller.calls == []
+
+    def test_actions_output_stream(self):
+        alarms = [Alarm(time=float(i), node="bad") for i in range(3)]
+        core, controller = self.make_core(alarms, min_alarms=1)
+        core.run_until(2.0)
+        actions = [s.value for s in core.instance("sink").received]
+        assert actions == [{"time": 0.0, "node": "bad"}]
+
+
+class TestBlacklistIntegration:
+    def test_mitigation_stops_new_assignments(self):
+        from repro.hadoop import ClusterConfig, HadoopCluster, JobSpec, MB
+        from repro.hadoop.cluster import BlacklistController
+
+        cluster = HadoopCluster(ClusterConfig(num_slaves=4, seed=3))
+        controller = BlacklistController(cluster)
+        for i in range(4):
+            cluster.submit_job(
+                JobSpec(
+                    job_id=f"200807070001_{i:04d}",
+                    name="job",
+                    input_bytes=512.0 * MB,
+                    num_reduces=2,
+                )
+            )
+        cluster.run_until(60.0)
+        controller.mitigate("slave02", cluster.time)
+        launches_before = sum(
+            1
+            for r in cluster.tt_logs["slave02"].records()
+            if "LaunchTaskAction" in r.line
+        )
+        cluster.run_until(240.0)
+        launches_after = sum(
+            1
+            for r in cluster.tt_logs["slave02"].records()
+            if "LaunchTaskAction" in r.line
+        )
+        assert launches_after == launches_before
+        # Other nodes keep receiving work and jobs still finish.
+        assert cluster.jobs_succeeded() > 0

@@ -1,0 +1,111 @@
+"""Tests for the network model."""
+
+import pytest
+
+from repro.sim import NetworkModel, Transfer
+
+
+def make_network(**caps) -> NetworkModel:
+    defaults = {"a": 1e6, "b": 1e6, "c": 1e6}
+    defaults.update(caps)
+    return NetworkModel(defaults)
+
+
+class TestArbitration:
+    def test_single_transfer_within_capacity(self):
+        network = make_network()
+        transfer = Transfer(src="a", dst="b", wanted_bytes=1000.0)
+        network.arbitrate([transfer], dt=1.0)
+        assert transfer.granted_bytes == pytest.approx(1000.0)
+        assert transfer.dropped_bytes == 0.0
+
+    def test_transfer_capped_by_sender_capacity(self):
+        network = make_network(a=1000.0)
+        transfer = Transfer(src="a", dst="b", wanted_bytes=5000.0)
+        network.arbitrate([transfer], dt=1.0)
+        assert transfer.granted_bytes == pytest.approx(1000.0)
+
+    def test_transfer_capped_by_receiver_capacity(self):
+        network = make_network(b=800.0)
+        transfer = Transfer(src="a", dst="b", wanted_bytes=5000.0)
+        network.arbitrate([transfer], dt=1.0)
+        assert transfer.granted_bytes == pytest.approx(800.0)
+
+    def test_competing_senders_share_receiver(self):
+        network = make_network(c=1000.0)
+        t1 = Transfer(src="a", dst="c", wanted_bytes=3000.0)
+        t2 = Transfer(src="b", dst="c", wanted_bytes=1000.0)
+        network.arbitrate([t1, t2], dt=1.0)
+        assert t1.granted_bytes == pytest.approx(750.0)
+        assert t2.granted_bytes == pytest.approx(250.0)
+
+    def test_local_transfer_bypasses_network(self):
+        network = make_network(a=10.0)
+        transfer = Transfer(src="a", dst="a", wanted_bytes=1e9)
+        network.arbitrate([transfer], dt=1.0)
+        assert transfer.granted_bytes == pytest.approx(1e9)
+        assert transfer.dropped_bytes == 0.0
+
+    def test_dt_scales_capacity(self):
+        network = make_network(a=1000.0)
+        transfer = Transfer(src="a", dst="b", wanted_bytes=5000.0)
+        network.arbitrate([transfer], dt=2.0)
+        assert transfer.granted_bytes == pytest.approx(2000.0)
+
+    def test_grant_never_exceeds_demand(self):
+        network = make_network()
+        transfer = Transfer(src="a", dst="b", wanted_bytes=10.0)
+        network.arbitrate([transfer], dt=100.0)
+        assert transfer.granted_bytes <= 10.0
+
+
+class TestPacketLoss:
+    def test_loss_reduces_goodput(self):
+        network = make_network()
+        network.set_loss_rate("a", 0.5)
+        lossy = Transfer(src="a", dst="b", wanted_bytes=1000.0)
+        network.arbitrate([lossy], dt=1.0)
+        assert lossy.granted_bytes < 100.0  # TCP collapse at 50% loss
+        assert lossy.dropped_bytes > 0.0
+
+    def test_loss_applies_at_either_endpoint(self):
+        network = make_network()
+        network.set_loss_rate("b", 0.5)
+        transfer = Transfer(src="a", dst="b", wanted_bytes=1000.0)
+        network.arbitrate([transfer], dt=1.0)
+        assert transfer.granted_bytes < 100.0
+
+    def test_unaffected_paths_stay_fast(self):
+        network = make_network()
+        network.set_loss_rate("a", 0.5)
+        clean = Transfer(src="b", dst="c", wanted_bytes=1000.0)
+        network.arbitrate([clean], dt=1.0)
+        assert clean.granted_bytes == pytest.approx(1000.0)
+
+    def test_clear_loss_restores_goodput(self):
+        network = make_network()
+        network.set_loss_rate("a", 0.5)
+        network.clear_loss_rate("a")
+        transfer = Transfer(src="a", dst="b", wanted_bytes=1000.0)
+        network.arbitrate([transfer], dt=1.0)
+        assert transfer.granted_bytes == pytest.approx(1000.0)
+
+    def test_loss_rate_is_clamped(self):
+        network = make_network()
+        network.set_loss_rate("a", 7.0)
+        assert network.loss_rate("a") == 1.0
+        network.set_loss_rate("a", -1.0)
+        assert network.loss_rate("a") == 0.0
+
+    def test_path_goodput_combines_endpoints(self):
+        network = make_network()
+        network.set_loss_rate("a", 0.2)
+        network.set_loss_rate("b", 0.2)
+        combined = network.path_goodput_factor("a", "b")
+        single = network.path_goodput_factor("a", "c")
+        assert combined < single
+
+
+def test_packet_count_helper():
+    assert NetworkModel.packets(1448.0) == pytest.approx(1.0)
+    assert NetworkModel.packets(0.0) == 0.0

@@ -1,0 +1,50 @@
+"""Tests for the metric catalogs (the paper's 64/18/19 split)."""
+
+from repro.sysstat import (
+    NIC_METRIC_COUNT,
+    NIC_METRICS,
+    NODE_METRIC_COUNT,
+    NODE_METRIC_INDEX,
+    NODE_METRICS,
+    PROCESS_METRIC_COUNT,
+    PROCESS_METRICS,
+)
+
+
+def test_node_metric_count_matches_paper():
+    assert NODE_METRIC_COUNT == 64
+    assert len(NODE_METRICS) == 64
+
+
+def test_nic_metric_count_matches_paper():
+    assert NIC_METRIC_COUNT == 18
+    assert len(NIC_METRICS) == 18
+
+
+def test_process_metric_count_matches_paper():
+    assert PROCESS_METRIC_COUNT == 19
+    assert len(PROCESS_METRICS) == 19
+
+
+def test_no_duplicate_names_within_catalogs():
+    assert len(set(NODE_METRICS)) == len(NODE_METRICS)
+    assert len(set(NIC_METRICS)) == len(NIC_METRICS)
+    assert len(set(PROCESS_METRICS)) == len(PROCESS_METRICS)
+
+
+def test_index_maps_every_node_metric():
+    assert set(NODE_METRIC_INDEX) == set(NODE_METRICS)
+    for name, index in NODE_METRIC_INDEX.items():
+        assert NODE_METRICS[index] == name
+
+
+def test_cpu_family_present():
+    for name in ("cpu_user_pct", "cpu_system_pct", "cpu_iowait_pct", "cpu_idle_pct"):
+        assert name in NODE_METRICS
+
+
+def test_network_family_present():
+    for name in ("net_rxkb_per_s", "net_txkb_per_s"):
+        assert name in NODE_METRICS
+    for name in ("rxkb_per_s", "txkb_per_s", "ifutil_pct"):
+        assert name in NIC_METRICS

@@ -1,0 +1,100 @@
+"""Tests for the GridMix-like workload generator."""
+
+import pytest
+
+from repro.hadoop.job import MB
+from repro.workloads import (
+    JOB_CLASSES,
+    SIZE_TIERS,
+    GridMixConfig,
+    GridMixWorkload,
+    generate_workload,
+)
+
+
+def make_workload(**kwargs) -> GridMixWorkload:
+    defaults = dict(duration_s=2000.0, seed=5)
+    defaults.update(kwargs)
+    return generate_workload(GridMixConfig(**defaults))
+
+
+class TestGeneration:
+    def test_deterministic_for_same_seed(self):
+        a, b = make_workload(), make_workload()
+        assert [(j.job_id, j.submit_time, j.input_bytes) for j in a.jobs] == [
+            (j.job_id, j.submit_time, j.input_bytes) for j in b.jobs
+        ]
+
+    def test_different_seeds_differ(self):
+        a = make_workload(seed=1)
+        b = make_workload(seed=2)
+        assert [j.input_bytes for j in a.jobs] != [j.input_bytes for j in b.jobs]
+
+    def test_initial_burst_at_time_zero(self):
+        workload = make_workload(initial_jobs=4)
+        assert sum(1 for j in workload.jobs if j.submit_time == 0.0) == 4
+
+    def test_submissions_within_duration(self):
+        workload = make_workload(duration_s=500.0)
+        assert all(j.submit_time < 500.0 for j in workload.jobs)
+
+    def test_submissions_are_sorted(self):
+        times = [j.submit_time for j in make_workload().jobs]
+        assert times == sorted(times)
+
+    def test_job_ids_unique(self):
+        ids = [j.job_id for j in make_workload().jobs]
+        assert len(set(ids)) == len(ids)
+
+    def test_all_five_classes_appear_over_long_run(self):
+        histogram = make_workload(duration_s=8000.0).class_histogram()
+        assert set(histogram) == set(JOB_CLASSES)
+
+    def test_sizes_within_tier_bounds(self):
+        low = min(tier[0] for tier in SIZE_TIERS)
+        high = max(tier[1] for tier in SIZE_TIERS)
+        for job in make_workload().jobs:
+            assert low * MB <= job.input_bytes <= high * MB
+
+    def test_reduce_counts_bounded(self):
+        config = GridMixConfig(duration_s=2000.0, seed=5, max_reduces=6)
+        for job in generate_workload(config).jobs:
+            assert 1 <= job.num_reduces <= 6
+
+    def test_cost_model_comes_from_class(self):
+        for job in make_workload().jobs:
+            class_name = job.name.rsplit("-", 1)[0]
+            assert job.cost == JOB_CLASSES[class_name]
+
+
+class TestWorkloadChange:
+    def test_change_increases_submission_rate(self):
+        base = make_workload(duration_s=4000.0, change_time_s=-1.0)
+        changed = make_workload(
+            duration_s=4000.0, change_time_s=2000.0, change_rate_factor=4.0
+        )
+        late_base = sum(1 for j in base.jobs if j.submit_time >= 2000.0)
+        late_changed = sum(1 for j in changed.jobs if j.submit_time >= 2000.0)
+        assert late_changed > late_base * 1.5
+
+    def test_no_change_before_change_time(self):
+        # With identical seeds the pre-change prefix is identical.
+        base = make_workload(duration_s=4000.0, change_time_s=-1.0)
+        changed = make_workload(
+            duration_s=4000.0, change_time_s=3000.0, change_rate_factor=4.0
+        )
+        early_base = [j.submit_time for j in base.jobs if j.submit_time < 2500.0]
+        early_changed = [j.submit_time for j in changed.jobs if j.submit_time < 2500.0]
+        assert early_base == early_changed
+
+
+class TestAggregates:
+    def test_total_input_bytes(self):
+        workload = make_workload()
+        assert workload.total_input_bytes() == pytest.approx(
+            sum(j.input_bytes for j in workload.jobs)
+        )
+
+    def test_histogram_counts_sum_to_job_count(self):
+        workload = make_workload()
+        assert sum(workload.class_histogram().values()) == len(workload.jobs)
