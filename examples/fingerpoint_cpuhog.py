@@ -11,12 +11,44 @@ Reproduces one evaluation run end to end (paper section 4):
 5. print the alarms and score them against the ground truth.
 
 Run:  python examples/fingerpoint_cpuhog.py        (~30 s)
+
+With ``--trace out.json`` the run is self-instrumented: it writes a
+Chrome trace (load ``out.json`` in chrome://tracing or Perfetto), dumps
+the core's Prometheus metrics (per-instance run-latency histograms)
+next to it, and prints the alarm audit trail explaining every verdict.
 """
 
+import argparse
+import os
+
 from repro.experiments import ScenarioConfig, run_scenario, shared_model
+from repro.telemetry import Telemetry
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="enable telemetry and write a Chrome trace-event file",
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="where to write the Prometheus metrics dump "
+             "(default: <trace>.metrics.prom)",
+    )
+    parser.add_argument(
+        "--audit", metavar="FILE", default=None,
+        help="where to write the alarm audit trail as JSONL "
+             "(default: <trace>.audit.jsonl)",
+    )
+    return parser.parse_args()
 
 
 def main() -> None:
+    args = parse_args()
+    telemetry = (
+        Telemetry() if (args.trace or args.metrics or args.audit) else None
+    )
     config = ScenarioConfig(
         num_slaves=10,
         duration_s=900.0,
@@ -33,7 +65,7 @@ def main() -> None:
         f"{config.num_slaves} slaves; CPUHog on the middle slave at "
         f"t={config.inject_time:.0f}s...\n"
     )
-    result = run_scenario(config, model=model)
+    result = run_scenario(config, model=model, telemetry=telemetry)
 
     print(f"ground truth: {result.truth.faulty_node} from t={result.truth.inject_time:.0f}s")
     print(f"jobs completed during the run: {result.jobs_completed}\n")
@@ -52,6 +84,24 @@ def main() -> None:
     culprits = {alarm.node for alarm in result.alarms_all}
     assert result.truth.faulty_node in culprits, "culprit not fingerpointed!"
     print("\nASDF fingerpointed the correct culprit node.")
+
+    if telemetry is not None:
+        stem = args.trace or args.metrics or args.audit
+        if args.trace:
+            telemetry.tracer.write_chrome_trace(args.trace)
+            print(f"\nwrote {len(telemetry.tracer.events)} trace events "
+                  f"to {args.trace} (load in chrome://tracing)")
+        metrics_path = args.metrics or f"{stem}.metrics.prom"
+        os.makedirs(os.path.dirname(metrics_path) or ".", exist_ok=True)
+        with open(metrics_path, "w", encoding="utf-8") as fh:
+            fh.write(telemetry.metrics.render_prometheus())
+        print(f"wrote Prometheus metrics to {metrics_path}")
+        audit_path = args.audit or f"{stem}.audit.jsonl"
+        telemetry.audit.write_jsonl(audit_path)
+        print(f"wrote alarm audit trail ({len(telemetry.audit)} records) "
+              f"to {audit_path}")
+        print("\nalarm audit trail (why each verdict fired):")
+        print(telemetry.audit.render_text(limit=15))
 
 
 if __name__ == "__main__":

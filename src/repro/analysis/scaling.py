@@ -34,7 +34,7 @@ class LogScaler:
         samples = np.asarray(samples, dtype=float)
         if samples.ndim != 2 or samples.shape[0] < 2:
             raise ValueError(
-                f"need a (n_samples >= 2, n_metrics) training matrix, "
+                "need a (n_samples >= 2, n_metrics) training matrix, "
                 f"got shape {samples.shape}"
             )
         logged = np.log1p(np.maximum(samples, 0.0))

@@ -30,7 +30,7 @@ class WindowSpec:
         if self.slide > self.size:
             raise ValueError(
                 f"slide ({self.slide}) larger than size ({self.size}) would "
-                f"skip samples"
+                "skip samples"
             )
 
     @property

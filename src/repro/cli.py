@@ -9,12 +9,20 @@ Everything the evaluation does, runnable from a terminal:
 * ``overhead``  -- Tables 3 and 4;
 * ``table2``    -- the fault catalog;
 * ``config``    -- print the generated fpt-core configuration file
-                   (the paper's Figure 3 at cluster scale).
+                   (the paper's Figure 3 at cluster scale);
+* ``telemetry`` -- run a monitored scenario with self-instrumentation on
+                   and print the summary (per-instance run latencies,
+                   queue stats, RPC bytes, the alarm audit trail).
+
+``demo`` and ``telemetry`` accept ``--trace FILE`` (Chrome
+``chrome://tracing`` trace of every module run) and ``--metrics FILE``
+(Prometheus text exposition of the core's self-metrics).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -31,6 +39,7 @@ from .experiments import (
 )
 from .experiments.report import render_summary, render_timeline
 from .faults import FAULT_NAMES
+from .telemetry import Telemetry
 
 
 def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
@@ -38,6 +47,44 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--duration", type=float, default=900.0, help="run seconds")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--inject", type=float, default=300.0, help="fault time")
+
+
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a Chrome trace-event file (load in chrome://tracing)",
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="write the core's self-metrics in Prometheus text format",
+    )
+    parser.add_argument(
+        "--audit", metavar="FILE", default=None,
+        help="write the alarm audit trail as JSONL",
+    )
+
+
+def _make_telemetry(args) -> Optional[Telemetry]:
+    """An enabled Telemetry when any telemetry flag was given, else None."""
+    if args.trace or args.metrics or args.audit:
+        return Telemetry(trace=bool(args.trace))
+    return None
+
+
+def _dump_telemetry(telemetry: Optional[Telemetry], args) -> None:
+    if telemetry is None:
+        return
+    if args.trace:
+        telemetry.tracer.write_chrome_trace(args.trace)
+        print(f"wrote {len(telemetry.tracer.events)} trace events to {args.trace}")
+    if args.metrics:
+        os.makedirs(os.path.dirname(args.metrics) or ".", exist_ok=True)
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            fh.write(telemetry.metrics.render_prometheus())
+        print(f"wrote metrics exposition to {args.metrics}")
+    if args.audit:
+        telemetry.audit.write_jsonl(args.audit)
+        print(f"wrote {len(telemetry.audit)} audit records to {args.audit}")
 
 
 def _scenario_config(args, fault: Optional[str]) -> ScenarioConfig:
@@ -52,6 +99,7 @@ def _scenario_config(args, fault: Optional[str]) -> ScenarioConfig:
 
 def cmd_demo(args) -> int:
     config = _scenario_config(args, args.fault)
+    telemetry = _make_telemetry(args)
     print(f"training black-box model ({args.slaves} slaves)...", flush=True)
     model = shared_model(config, training_duration_s=min(300.0, args.duration))
     print(
@@ -59,11 +107,12 @@ def cmd_demo(args) -> int:
         f"{args.fault or 'no fault'}...",
         flush=True,
     )
-    result = run_scenario(config, model=model)
+    result = run_scenario(config, model=model, telemetry=telemetry)
     print()
     print(render_summary(result))
     print()
     print(render_timeline(result))
+    _dump_telemetry(telemetry, args)
     if result.truth.faulty_node is not None:
         culprits = {alarm.node for alarm in result.alarms_all}
         if result.truth.faulty_node in culprits:
@@ -80,7 +129,7 @@ def cmd_calibrate(args) -> int:
     result = figure6(config, model=model)
     print(result.render())
     print(
-        f"\nsuggested operating points: bb threshold "
+        "\nsuggested operating points: bb threshold "
         f"{pick_knee(result.blackbox):.0f}, wb k {pick_knee(result.whitebox):.1f}"
     )
     return 0
@@ -117,6 +166,34 @@ def cmd_config(args) -> int:
     return 0
 
 
+def cmd_telemetry(args) -> int:
+    """Run a monitored scenario with self-instrumentation and summarize."""
+    config = _scenario_config(args, args.fault)
+    telemetry = Telemetry(trace=args.trace is not None or not args.no_spans)
+    print(f"training black-box model ({args.slaves} slaves)...", flush=True)
+    model = shared_model(config, training_duration_s=min(300.0, args.duration))
+    print(
+        f"running instrumented {args.duration:.0f}s with "
+        f"{args.fault or 'no fault'}...\n",
+        flush=True,
+    )
+    result = run_scenario(
+        config, model=model, keep_handles=True, telemetry=telemetry
+    )
+    print(telemetry.summary_text())
+    if len(telemetry.audit):
+        print("\nalarm audit trail:")
+        print(telemetry.audit.render_text(limit=20))
+    if args.dot:
+        os.makedirs(os.path.dirname(args.dot) or ".", exist_ok=True)
+        with open(args.dot, "w", encoding="utf-8") as fh:
+            fh.write(result.handles.core.to_dot(annotate=True))
+        print(f"\nwrote annotated DAG to {args.dot}")
+    _dump_telemetry(telemetry, args)
+    result.handles.core.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -127,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = commands.add_parser("demo", help="one monitored fault-injection run")
     _add_scenario_args(demo)
+    _add_telemetry_args(demo)
     demo.add_argument(
         "--fault",
         choices=list(FAULT_NAMES),
@@ -134,6 +212,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault to inject (Table 2 name)",
     )
     demo.set_defaults(handler=cmd_demo)
+
+    telemetry = commands.add_parser(
+        "telemetry",
+        help="instrumented run: self-metrics summary, trace, alarm audit",
+    )
+    _add_scenario_args(telemetry)
+    _add_telemetry_args(telemetry)
+    telemetry.add_argument(
+        "--fault",
+        choices=list(FAULT_NAMES),
+        default="CPUHog",
+        help="fault to inject (Table 2 name); alarms feed the audit trail",
+    )
+    telemetry.add_argument(
+        "--no-spans", action="store_true",
+        help="skip span recording (metrics and audit only)",
+    )
+    telemetry.add_argument(
+        "--dot", metavar="FILE", default=None,
+        help="write the DAG annotated with run counts and mean latencies",
+    )
+    telemetry.set_defaults(handler=cmd_telemetry)
 
     calibrate = commands.add_parser(
         "calibrate", help="Figure 6 fault-free threshold sweeps"

@@ -105,6 +105,15 @@ class Connection:
             return self._queue[0]
         return None
 
+    @property
+    def depth(self) -> int:
+        """Samples currently buffered (telemetry-friendly alias of len)."""
+        return len(self._queue)
+
+    @property
+    def capacity(self) -> int:
+        return self._queue.maxlen or 0
+
 
 class InputGroup:
     """All connections bound to one named input of a module instance."""
@@ -177,3 +186,18 @@ class Output:
             connection._push(sample)
         if self.on_write is not None:
             self.on_write(self, sample)
+
+    def subscriber_depths(self) -> List[int]:
+        """Current buffered-sample count of each subscriber queue."""
+        return [len(connection) for connection in self.subscribers]
+
+    def stats(self) -> dict:
+        """Write/queue accounting for this output (telemetry snapshot)."""
+        return {
+            "output": self.full_name,
+            "written": self.total_written,
+            "subscribers": len(self.subscribers),
+            "queue_depths": self.subscriber_depths(),
+            "dropped": sum(c.total_dropped for c in self.subscribers),
+            "received": sum(c.total_received for c in self.subscribers),
+        }

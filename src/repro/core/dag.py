@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Type
+from typing import Dict, List, Mapping, Optional, Sequence, Type
 
 from .channel import DEFAULT_QUEUE_CAPACITY, InputGroup
 from .clock import Clock
@@ -29,6 +29,11 @@ from .config import InstanceSpec
 from .errors import ConfigError
 from .module import Module, ModuleContext
 from .registry import ModuleRegistry
+
+
+def _dot_escape(text: str) -> str:
+    """Escape a string for use inside a double-quoted dot id or label."""
+    return text.replace("\\", "\\\\").replace('"', '\\"')
 
 
 @dataclass(frozen=True)
@@ -73,17 +78,31 @@ class Dag:
                     queue.append(successor)
         return order
 
-    def to_dot(self) -> str:
-        """Render the DAG in Graphviz dot format (for visualization)."""
+    def to_dot(self, run_stats: Optional[Mapping[str, object]] = None) -> str:
+        """Render the DAG in Graphviz dot format (for visualization).
+
+        ``run_stats``, if given, maps instance ids to objects exposing
+        ``runs`` and ``mean_latency_s`` (e.g.
+        :class:`repro.telemetry.RunStats`); matching vertices are
+        annotated with their run count and mean run latency.
+        """
         lines = ["digraph fpt_core {"]
         for instance_id, module in sorted(self.instances.items()):
-            lines.append(
-                f'  "{instance_id}" [label="{instance_id}\\n({module.type_name})"];'
-            )
+            node = _dot_escape(instance_id)
+            label = f"{node}\\n({_dot_escape(module.type_name)})"
+            stats = run_stats.get(instance_id) if run_stats else None
+            if stats is not None:
+                label += (
+                    f"\\n{stats.runs} runs, "
+                    f"{stats.mean_latency_s * 1e3:.3f} ms mean"
+                )
+            lines.append(f'  "{node}" [label="{label}"];')
         for edge in self.edges:
             lines.append(
-                f'  "{edge.src_instance}" -> "{edge.dst_instance}" '
-                f'[label="{edge.output_name} -> {edge.input_name}"];'
+                f'  "{_dot_escape(edge.src_instance)}" -> '
+                f'"{_dot_escape(edge.dst_instance)}" '
+                f'[label="{_dot_escape(edge.output_name)} -> '
+                f'{_dot_escape(edge.input_name)}"];'
             )
         lines.append("}")
         return "\n".join(lines)
@@ -156,14 +175,14 @@ def build_dag(
                     raise ConfigError(
                         f"instance '{spec.instance_id}' wires "
                         f"'@{input_spec.instance_id}' but that instance "
-                        f"declared no outputs"
+                        "declared no outputs"
                     )
             else:
                 if input_spec.output_name not in upstream_ctx.outputs:
                     raise ConfigError(
                         f"instance '{spec.instance_id}' wires "
                         f"'{input_spec.instance_id}.{input_spec.output_name}' "
-                        f"but that output does not exist (available: "
+                        "but that output does not exist (available: "
                         f"{sorted(upstream_ctx.outputs)})"
                     )
                 outputs = [upstream_ctx.outputs[input_spec.output_name]]
@@ -285,14 +304,14 @@ def extend_dag(
                     raise ConfigError(
                         f"instance '{spec.instance_id}' wires "
                         f"'@{input_spec.instance_id}' but that instance "
-                        f"declared no outputs"
+                        "declared no outputs"
                     )
             else:
                 if input_spec.output_name not in upstream_ctx.outputs:
                     raise ConfigError(
                         f"instance '{spec.instance_id}' wires "
                         f"'{input_spec.instance_id}.{input_spec.output_name}' "
-                        f"but that output does not exist (available: "
+                        "but that output does not exist (available: "
                         f"{sorted(upstream_ctx.outputs)})"
                     )
                 outputs = [upstream_ctx.outputs[input_spec.output_name]]
@@ -353,7 +372,7 @@ def detach_instance(dag: Dag, instance_id: str) -> Module:
         downstream = sorted({e.dst_instance for e in consumers})
         raise ConfigError(
             f"cannot detach '{instance_id}': instances {downstream} "
-            f"consume its outputs"
+            "consume its outputs"
         )
     ctx = dag.contexts[instance_id]
     for group in ctx.inputs.values():

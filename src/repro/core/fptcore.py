@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .channel import DEFAULT_QUEUE_CAPACITY
 from .clock import Clock, SimClock
 from .config import InstanceSpec, parse_config
@@ -40,9 +41,15 @@ class FptCore:
         clock: Optional[Clock] = None,
         queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
         services=None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.clock = clock if clock is not None else SimClock()
-        self.scheduler = Scheduler(self.clock)
+        #: Self-instrumentation facade shared by the scheduler, every
+        #: module context and (through services) the RPC channels.  The
+        #: disabled NULL_TELEMETRY default keeps the hot path at a
+        #: single attribute check.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.scheduler = Scheduler(self.clock, telemetry=self.telemetry)
         self._registry = registry
         self._queue_capacity = queue_capacity
         self._services = services
@@ -50,6 +57,7 @@ class FptCore:
         def install_hooks(ctx: ModuleContext) -> None:
             ctx._schedule_periodic = self.scheduler.schedule_periodic
             ctx._set_trigger = self.scheduler.set_trigger
+            ctx.telemetry = self.telemetry
 
         self._install_hooks = install_hooks
 
@@ -78,9 +86,13 @@ class FptCore:
         clock: Optional[Clock] = None,
         queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
         services=None,
+        telemetry: Optional[Telemetry] = None,
     ) -> "FptCore":
         """Build a core from configuration-file text (paper section 3.4)."""
-        return cls(parse_config(text), registry, clock, queue_capacity, services)
+        return cls(
+            parse_config(text), registry, clock, queue_capacity, services,
+            telemetry,
+        )
 
     # -- introspection --------------------------------------------------------
 
@@ -95,8 +107,23 @@ class FptCore:
     def edges(self) -> List[Edge]:
         return list(self.dag.edges)
 
-    def to_dot(self) -> str:
-        return self.dag.to_dot()
+    def to_dot(self, annotate: bool = False) -> str:
+        """Dot rendering; ``annotate=True`` adds telemetry run stats.
+
+        Falls back to the scheduler's always-on run counters when
+        telemetry is disabled (mean latency shows as 0 in that case).
+        """
+        if not annotate:
+            return self.dag.to_dot()
+        if self.telemetry.enabled:
+            return self.dag.to_dot(run_stats=self.telemetry.run_stats())
+        from ..telemetry import RunStats
+
+        stats = {
+            instance_id: RunStats(runs, 0.0, 0)
+            for instance_id, runs in self.scheduler.runs_by_instance.items()
+        }
+        return self.dag.to_dot(run_stats=stats)
 
     # -- execution ------------------------------------------------------------
 

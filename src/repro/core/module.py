@@ -21,6 +21,7 @@ import abc
 import enum
 from typing import Any, Callable, ClassVar, Dict, Mapping, Optional
 
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .channel import InputGroup, Origin, Output
 from .clock import Clock
 from .errors import ConfigError, ModuleError
@@ -58,6 +59,10 @@ class ModuleContext:
         self.instance_id = instance_id
         self.params: Dict[str, str] = dict(params)
         self.clock = clock
+        #: The core's self-instrumentation facade; replaced by the real
+        #: :class:`~repro.telemetry.Telemetry` when the owning core has
+        #: telemetry enabled.  Modules guard with ``telemetry.enabled``.
+        self.telemetry: Telemetry = NULL_TELEMETRY
         self.services: Dict[str, Any] = dict(services) if services else {}
         self.inputs: Dict[str, InputGroup] = {}
         self.outputs: Dict[str, Output] = {}

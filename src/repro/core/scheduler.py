@@ -21,9 +21,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from collections import deque
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .channel import Output, Sample
 from .clock import Clock
 from .errors import SchedulerError
@@ -38,8 +40,9 @@ MAX_DRAIN_RUNS = 100_000
 class Scheduler:
     """Drives module execution against a :class:`Clock`."""
 
-    def __init__(self, clock: Clock) -> None:
+    def __init__(self, clock: Clock, telemetry: Optional[Telemetry] = None) -> None:
         self.clock = clock
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._heap: List[Tuple[float, int, str]] = []
         self._sequence = itertools.count()
         self._intervals: Dict[str, float] = {}
@@ -49,10 +52,19 @@ class Scheduler:
         self._pending: deque = deque()
         self._pending_set: Set[str] = set()
         self._stopped = False
-        self.total_runs = 0
+        #: Always-on run accounting, split by why each run happened and
+        #: by which instance ran (plain ints: cheap enough to keep even
+        #: with telemetry disabled).
+        self.runs_by_reason: Dict[RunReason, int] = {r: 0 for r in RunReason}
+        self.runs_by_instance: Dict[str, int] = {}
         #: Optional callback invoked as ``on_error(instance_id, exc)``;
         #: returning ``True`` suppresses the exception.
         self.on_error: Optional[Callable[[str, BaseException], bool]] = None
+
+    @property
+    def total_runs(self) -> int:
+        """All run() dispatches, any reason (kept for backward compatibility)."""
+        return sum(self.runs_by_reason.values())
 
     # -- registration --------------------------------------------------------
 
@@ -94,8 +106,30 @@ class Scheduler:
         self._triggers[instance_id] = updates
 
     def attach_output(self, output: Output) -> None:
-        """Install the write hook that feeds input-trigger bookkeeping."""
-        output.on_write = self._on_output_write
+        """Install the write hook that feeds input-trigger bookkeeping.
+
+        If the output already carries a foreign ``on_write`` hook (a
+        telemetry probe, a test spy), it is *chained*, not overwritten:
+        the existing hook fires first, then the scheduler's bookkeeping.
+        Attaching the same output twice is a no-op, so chains never
+        accumulate duplicate scheduler hooks.
+        """
+        existing = output.on_write
+        if existing is self._on_output_write or getattr(
+            existing, "_includes_scheduler_hook", False
+        ):
+            return  # already attached; never double-register
+        if existing is None:
+            output.on_write = self._on_output_write
+            return
+        scheduler_hook = self._on_output_write
+
+        def chained(out: Output, sample: Sample) -> None:
+            existing(out, sample)
+            scheduler_hook(out, sample)
+
+        chained._includes_scheduler_hook = True  # type: ignore[attr-defined]
+        output.on_write = chained
 
     # -- write notification ---------------------------------------------------
 
@@ -109,6 +143,8 @@ class Scheduler:
         return max(1, module.ctx.connection_count())
 
     def _on_output_write(self, output: Output, sample: Sample) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.record_write(output)
         for connection in output.subscribers:
             consumer = connection.owner_instance
             if consumer is None or consumer not in self._instances:
@@ -126,14 +162,39 @@ class Scheduler:
 
     def _run_instance(self, instance_id: str, reason: RunReason) -> None:
         module = self._instances[instance_id]
-        self.total_runs += 1
+        self.runs_by_reason[reason] += 1
+        self.runs_by_instance[instance_id] = (
+            self.runs_by_instance.get(instance_id, 0) + 1
+        )
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            try:
+                module.run(reason)
+            except Exception as exc:  # noqa: BLE001 - reported via hook
+                if self.on_error is None or not self.on_error(instance_id, exc):
+                    raise
+            return
+        started = time.perf_counter()
+        error: Optional[str] = None
         try:
             module.run(reason)
         except Exception as exc:  # noqa: BLE001 - reported via hook
+            error = f"{type(exc).__name__}: {exc}"
             if self.on_error is None or not self.on_error(instance_id, exc):
                 raise
+        finally:
+            telemetry.record_run(
+                instance_id,
+                reason.value,
+                started,
+                time.perf_counter() - started,
+                self.clock.now(),
+                error=error,
+            )
 
     def _drain_input_triggered(self) -> None:
+        if self.telemetry.enabled and self._pending:
+            self.telemetry.record_drain_depth(len(self._pending))
         drained = 0
         while self._pending:
             drained += 1
@@ -182,6 +243,10 @@ class Scheduler:
             if instance_id not in self._instances:
                 continue  # detached while a heap entry was pending
             self.clock.sleep_until(deadline)
+            if self.telemetry.enabled:
+                # Under a simulated clock the lag is 0 by construction;
+                # under a wall clock it measures scheduler jitter.
+                self.telemetry.record_periodic_lag(self.clock.now() - deadline)
             self._run_instance(instance_id, RunReason.PERIODIC)
             self._drain_input_triggered()
             interval = self._intervals[instance_id]

@@ -171,7 +171,7 @@ class Figure7Result:
         bb, wb, combined = self.mean_ba()
         lines.append(
             f"{'MEAN':<12} {100 * bb:6.1f} {100 * wb:6.1f} {100 * combined:6.1f}"
-            f"   (paper: 71 / 78 / 80)"
+            "   (paper: 71 / 78 / 80)"
         )
         return "\n".join(lines)
 

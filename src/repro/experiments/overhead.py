@@ -11,17 +11,23 @@ live object graph.
 Table 4 reports RPC bandwidth per type (sadc, hadoop_log-datanode,
 hadoop_log-tasktracker): static connection overhead and per-iteration
 bytes, both read straight off the channels' byte counters.
+
+The fpt-core CPU number comes from the :mod:`repro.telemetry` layer: the
+scheduler's per-instance run-latency histograms sum to the seconds spent
+inside module ``run()`` calls, so Table 3 is a *consumer* of the same
+instrumentation an operator would use online, not a bespoke stopwatch.
 """
 
 from __future__ import annotations
 
 import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
 
 from .model import train_blackbox_model
 from .scenario import AsdfHandles, ScenarioConfig, deploy_asdf
 from ..hadoop.cluster import ClusterConfig, HadoopCluster
+from ..telemetry import Telemetry
 from ..workloads.gridmix import generate_workload
 
 
@@ -90,6 +96,9 @@ class OverheadReport:
     num_nodes: int
     table3: List[OverheadRow]
     table4: List[BandwidthRow]
+    #: The instrumentation the run was measured with; carries the
+    #: per-instance run-latency histograms behind the fpt-core row.
+    telemetry: Optional[Telemetry] = field(default=None, repr=False)
 
     def table3_text(self) -> str:
         lines = [f"{'Process':<18} {'% CPU':>8} {'Memory (MB)':>12}"]
@@ -109,8 +118,19 @@ def measure_overheads(
     duration_s: float = 300.0,
     seed: int = 21,
     training_duration_s: float = 120.0,
+    telemetry: Optional[Telemetry] = None,
 ) -> OverheadReport:
-    """Run a monitored fault-free cluster and measure ASDF's costs."""
+    """Run a monitored fault-free cluster and measure ASDF's costs.
+
+    The run is instrumented with ``telemetry`` (a metrics-only
+    :class:`~repro.telemetry.Telemetry` is created when none is given);
+    the fpt-core CPU figure is the sum of the per-instance run-latency
+    histograms that instrumentation recorded.
+    """
+    if telemetry is None:
+        # Metrics only: tracing a 300s run would record ~100k events
+        # whose bookkeeping we would then, absurdly, measure.
+        telemetry = Telemetry(trace=False)
     config = ScenarioConfig(
         num_slaves=num_slaves, duration_s=duration_s, seed=seed
     )
@@ -123,18 +143,15 @@ def measure_overheads(
     cluster = HadoopCluster(config.cluster_config())
     for spec in generate_workload(config.workload_config()).jobs:
         cluster.schedule_job(spec)
-    handles = deploy_asdf(cluster, model, config)
+    handles = deploy_asdf(cluster, model, config, telemetry=telemetry)
 
-    import time
-
-    core_cpu = 0.0
     while cluster.time < duration_s - 1e-9:
         cluster.step(1.0)
-        t0 = time.process_time()
         handles.core.run_until(cluster.time)
-        core_cpu += time.process_time() - t0
 
+    core_cpu = telemetry.total_run_seconds()
     report = compute_overhead_report(handles, duration_s, num_slaves, core_cpu)
+    report.telemetry = telemetry
     handles.core.close()
     return report
 

@@ -51,7 +51,7 @@ def render_timeline(result: ScenarioResult) -> str:
     width = max(len(node) for node in nodes)
     lines = [
         f"{'':>{width}}  one column per {int(windows[0][1] - windows[0][0])}s window"
-        f"  (B=black-box, W=white-box, *=both)"
+        "  (B=black-box, W=white-box, *=both)"
     ]
     for node in nodes:
         cells = []

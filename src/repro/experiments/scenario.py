@@ -27,6 +27,7 @@ from ..analysis.metrics import (
     score_decisions,
 )
 from ..core import FptCore, SimClock
+from ..telemetry import Telemetry
 from ..faults import FaultSpec, make_fault
 from ..hadoop.cluster import ClusterConfig, HadoopCluster
 from ..modules import (
@@ -180,15 +181,24 @@ def build_asdf_config_text(nodes: List[str], config: ScenarioConfig) -> str:
 
 
 def deploy_asdf(
-    cluster: HadoopCluster, model: BlackBoxModel, config: ScenarioConfig
+    cluster: HadoopCluster,
+    model: BlackBoxModel,
+    config: ScenarioConfig,
+    telemetry: Optional[Telemetry] = None,
 ) -> AsdfHandles:
-    """Stand up daemons, channels and the fpt-core for a cluster."""
+    """Stand up daemons, channels and the fpt-core for a cluster.
+
+    ``telemetry``, if given, instruments the whole deployment: the core's
+    scheduler, every data channel and every RPC channel record into it.
+    """
     nodes = cluster.slave_names
     sadc_daemons = {
         node: SadcDaemon(node, cluster.procfs(node)) for node in nodes
     }
     sadc_channels = {
-        node: InprocChannel(sadc_daemons[node], f"sadc_rpcd@{node}")
+        node: InprocChannel(
+            sadc_daemons[node], f"sadc_rpcd@{node}", telemetry=telemetry
+        )
         for node in nodes
     }
     hl_tt_daemons = {
@@ -198,11 +208,15 @@ def deploy_asdf(
         node: HadoopLogDaemon(node, cluster.dn_logs[node]) for node in nodes
     }
     hl_tt_channels = {
-        node: InprocChannel(hl_tt_daemons[node], f"hl_tt_rpcd@{node}")
+        node: InprocChannel(
+            hl_tt_daemons[node], f"hl_tt_rpcd@{node}", telemetry=telemetry
+        )
         for node in nodes
     }
     hl_dn_channels = {
-        node: InprocChannel(hl_dn_daemons[node], f"hl_dn_rpcd@{node}")
+        node: InprocChannel(
+            hl_dn_daemons[node], f"hl_dn_rpcd@{node}", telemetry=telemetry
+        )
         for node in nodes
     }
     services = {
@@ -217,6 +231,7 @@ def deploy_asdf(
         standard_registry(),
         SimClock(),
         services=services,
+        telemetry=telemetry,
     )
     return AsdfHandles(
         core=core,
@@ -292,6 +307,7 @@ def run_scenario(
     config: ScenarioConfig,
     model: Optional[BlackBoxModel] = None,
     keep_handles: bool = False,
+    telemetry: Optional[Telemetry] = None,
 ) -> ScenarioResult:
     """Execute one full evaluation run and score it."""
     if model is None:
@@ -323,7 +339,7 @@ def run_scenario(
     else:
         truth = GroundTruth(faulty_node=None)
 
-    handles = deploy_asdf(cluster, model, config)
+    handles = deploy_asdf(cluster, model, config, telemetry=telemetry)
     core = handles.core
 
     # Lock-step online operation: the cluster advances one second, then

@@ -694,7 +694,7 @@ class TaskTracker:
             "WARN",
             TASKTRACKER_CLASS,
             f"Error from {attempt.attempt_id}: java.io.IOException: "
-            f"Failed to rename map output; task failed",
+            "Failed to rename map output; task failed",
         )
         self.log.append(
             now,

@@ -7,6 +7,13 @@
   the paper's *combined* black-box + white-box fingerpointer ("combining
   the outputs of the white-box and black-box analysis yielded a modest
   improvement").
+
+When the owning core has telemetry enabled, every alarm that reaches a
+``print`` sink is also written to the core's append-only
+:class:`~repro.telemetry.AlarmAuditTrail` -- timestamp, culprit node,
+raising analysis, the threshold evidence in the alarm's detail, the sink
+that witnessed it and the upstream output that delivered it -- so each
+fingerpointing verdict stays explainable after the run.
 """
 
 from __future__ import annotations
@@ -39,12 +46,22 @@ class PrintModule(Module):
         return [s.value for s in self.received if isinstance(s.value, Alarm)]
 
     def run(self, reason: RunReason) -> None:
+        telemetry = self.ctx.telemetry
         for group in self.ctx.inputs.values():
             for connection in group:
                 for sample in connection.pop_all():
                     self.received.append(sample)
+                    value = sample.value
+                    if telemetry.enabled and isinstance(value, Alarm):
+                        telemetry.audit.record(
+                            time=value.time,
+                            node=value.node,
+                            source=value.source,
+                            detail=value.detail,
+                            sink=self.instance_id,
+                            inputs=(connection.output.full_name,),
+                        )
                     if not self.quiet:
-                        value = sample.value
                         text = (
                             value.describe()
                             if isinstance(value, Alarm)

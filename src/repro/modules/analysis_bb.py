@@ -61,7 +61,7 @@ class BlackBoxAnalysisModule(Module):
                 if not node:
                     raise ConfigError(
                         f"analysis_bb '{ctx.instance_id}': input connection "
-                        f"without node origin (wire it from sadc/knn outputs)"
+                        "without node origin (wire it from sadc/knn outputs)"
                     )
                 if node in self.connections:
                     raise ConfigError(

@@ -54,7 +54,7 @@ class WhiteBoxAnalysisModule(Module):
                 if not node:
                     raise ConfigError(
                         f"analysis_wb '{ctx.instance_id}': input connection "
-                        f"without node origin (wire it from hadoop_log outputs)"
+                        "without node origin (wire it from hadoop_log outputs)"
                     )
                 if node in self.connections:
                     raise ConfigError(

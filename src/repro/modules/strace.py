@@ -35,7 +35,7 @@ Configuration::
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 

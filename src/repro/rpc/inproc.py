@@ -25,12 +25,19 @@ from .server import dispatch, handler_methods
 
 
 class InprocChannel:
-    """Client-side facade calling a handler object through full codec."""
+    """Client-side facade calling a handler object through full codec.
 
-    def __init__(self, handler: Any, service: str, client_name: str = "asdf") -> None:
+    ``telemetry``, if given and enabled, receives per-call wire-byte
+    counts labelled by service -- the same numbers Table 4 aggregates,
+    surfaced as ``asdf_rpc_wire_bytes_total`` metrics.
+    """
+
+    def __init__(self, handler: Any, service: str, client_name: str = "asdf",
+                 telemetry: Any = None) -> None:
         self.handler = handler
         self.service = service
         self.counter = ByteCounter()
+        self.telemetry = telemetry
         self._ids = itertools.count(1)
         # Perform the same hello/welcome exchange as the TCP transport so
         # static overhead is accounted identically.
@@ -41,15 +48,25 @@ class InprocChannel:
         payload, consumed = decode_frame(welcome)
         self.counter.count_rx(consumed, static=True)
         self.methods: List[str] = list(payload.get("methods", []))
+        if telemetry is not None and telemetry.enabled:
+            telemetry.record_rpc(service, self.counter.tx_wire, self.counter.rx_wire)
 
     def call(self, method: str, **params: Any) -> Any:
         request_id = next(self._ids)
+        tx_before, rx_before = self.counter.tx_wire, self.counter.rx_wire
         frame = encode_frame(make_request(request_id, method, params))
         self.counter.count_tx(len(frame))
         request, _ = decode_frame(frame)
         response_frame = encode_frame(dispatch(self.handler, request))
         response, consumed = decode_frame(response_frame)
         self.counter.count_rx(consumed)
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.record_rpc(
+                self.service,
+                self.counter.tx_wire - tx_before,
+                self.counter.rx_wire - rx_before,
+            )
         if "error" in response:
             raise RemoteError(response["error"])
         return response.get("result")

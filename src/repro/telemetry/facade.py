@@ -1,0 +1,267 @@
+"""The :class:`Telemetry` facade owned by a running fpt-core.
+
+One object bundles the three self-instrumentation surfaces --
+:class:`~repro.telemetry.metrics.MetricsRegistry`,
+:class:`~repro.telemetry.tracing.Tracer` and
+:class:`~repro.telemetry.audit.AlarmAuditTrail` -- plus the recording
+helpers the scheduler and channels call on their hot paths.  The helpers
+cache metric children per instance/output so steady state costs a couple
+of dict lookups, and every caller guards with ``telemetry.enabled``
+first, so the disabled default (:data:`NULL_TELEMETRY`) costs one
+attribute check.
+
+Metric families recorded by the core:
+
+========================================  =========  =============================
+family                                    type       labels
+========================================  =========  =============================
+``fpt_instance_runs_total``               counter    ``instance``, ``reason``
+``fpt_instance_run_errors_total``         counter    ``instance``
+``fpt_run_latency_seconds``               histogram  ``instance``
+``fpt_drain_queue_depth``                 histogram  --
+``fpt_periodic_lag_seconds``              histogram  --
+``fpt_output_writes_total``               counter    ``output``
+``fpt_output_queue_depth``                gauge      ``output`` (high-watermark)
+``fpt_output_dropped_total``              gauge      ``output``
+``asdf_rpc_wire_bytes_total``             counter    ``service``, ``direction``
+``asdf_rpc_messages_total``               counter    ``service``, ``direction``
+========================================  =========  =============================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .audit import AlarmAuditTrail
+from .metrics import Histogram, MetricsRegistry
+from .tracing import Tracer
+
+__all__ = ["Telemetry", "NULL_TELEMETRY", "RunStats"]
+
+#: Drain-queue depths are small integers; buckets cover 1..10k pending runs.
+QUEUE_DEPTH_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 1000.0, 10000.0)
+
+#: Periodic lag: 0 under a simulated clock, scheduler jitter under a wall
+#: clock.  Sub-millisecond buckets catch the interesting range.
+LAG_BUCKETS_S = (1e-6, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+
+class RunStats:
+    """Per-instance run summary derived from the metrics (for ``to_dot``)."""
+
+    __slots__ = ("runs", "mean_latency_s", "errors")
+
+    def __init__(self, runs: int, mean_latency_s: float, errors: int) -> None:
+        self.runs = runs
+        self.mean_latency_s = mean_latency_s
+        self.errors = errors
+
+
+class Telemetry:
+    """Everything a core records about itself."""
+
+    def __init__(self, enabled: bool = True, trace: bool = True) -> None:
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(enabled=enabled and trace)
+        self.audit = AlarmAuditTrail()
+        # Hot-path caches: instance/output name -> live metric children.
+        self._run_cache: Dict[Tuple[str, str], object] = {}
+        self._latency_cache: Dict[str, Histogram] = {}
+        self._output_cache: Dict[str, tuple] = {}
+        self._rpc_cache: Dict[str, tuple] = {}
+        self._drain_hist: Optional[Histogram] = None
+        self._lag_hist: Optional[Histogram] = None
+
+    # -- scheduler hooks -----------------------------------------------------
+
+    def record_run(self, instance_id: str, reason: str, started_perf_s: float,
+                   duration_s: float, sim_time_s: float,
+                   error: Optional[str] = None) -> None:
+        """Account one module ``run()``: counters, latency, trace event."""
+        key = (instance_id, reason)
+        counter = self._run_cache.get(key)
+        if counter is None:
+            counter = self.metrics.counter(
+                "fpt_instance_runs_total",
+                "Module run() invocations by scheduling reason.",
+                {"instance": instance_id, "reason": reason},
+            )
+            self._run_cache[key] = counter
+        counter.inc()
+        latency = self._latency_cache.get(instance_id)
+        if latency is None:
+            latency = self.metrics.histogram(
+                "fpt_run_latency_seconds",
+                "Wall-clock latency of module run() calls.",
+                {"instance": instance_id},
+            )
+            self._latency_cache[instance_id] = latency
+        latency.observe(duration_s)
+        if error is not None:
+            self.metrics.counter(
+                "fpt_instance_run_errors_total",
+                "Module run() calls that raised.",
+                {"instance": instance_id},
+            ).inc()
+        if self.tracer.enabled:
+            args = {"sim_time_s": sim_time_s}
+            if error is not None:
+                args["error"] = error
+            self.tracer.complete(
+                "run", reason, started_perf_s, duration_s,
+                track=instance_id, **args,
+            )
+
+    def record_drain_depth(self, depth: int) -> None:
+        hist = self._drain_hist
+        if hist is None:
+            hist = self.metrics.histogram(
+                "fpt_drain_queue_depth",
+                "Pending input-triggered runs at each drain pass.",
+                buckets=QUEUE_DEPTH_BUCKETS,
+            )
+            self._drain_hist = hist
+        hist.observe(depth)
+
+    def record_periodic_lag(self, lag_s: float) -> None:
+        hist = self._lag_hist
+        if hist is None:
+            hist = self.metrics.histogram(
+                "fpt_periodic_lag_seconds",
+                "How late each periodic deadline actually fired.",
+                buckets=LAG_BUCKETS_S,
+            )
+            self._lag_hist = hist
+        hist.observe(max(0.0, lag_s))
+
+    # -- channel hooks -------------------------------------------------------
+
+    def record_write(self, output) -> None:
+        """Account one ``Output.write``: write count + queue high-watermark."""
+        name = output.full_name
+        cached = self._output_cache.get(name)
+        if cached is None:
+            labels = {"output": name}
+            cached = (
+                self.metrics.counter(
+                    "fpt_output_writes_total",
+                    "Samples written per output port.", labels,
+                ),
+                self.metrics.gauge(
+                    "fpt_output_queue_depth",
+                    "High-watermark of subscriber queue depth per output.",
+                    labels,
+                ),
+                self.metrics.gauge(
+                    "fpt_output_dropped_total",
+                    "Samples dropped from full subscriber queues per output.",
+                    labels,
+                ),
+            )
+            self._output_cache[name] = cached
+        writes, depth, dropped = cached
+        writes.inc()
+        subscribers = output.subscribers
+        if subscribers:
+            depth.set_max(max(len(c) for c in subscribers))
+            dropped.set(sum(c.total_dropped for c in subscribers))
+
+    # -- rpc hooks -----------------------------------------------------------
+
+    def record_rpc(self, service: str, tx_wire: int, rx_wire: int) -> None:
+        """Account one RPC round-trip's wire bytes (feeds Table 4)."""
+        cached = self._rpc_cache.get(service)
+        if cached is None:
+            cached = (
+                self.metrics.counter(
+                    "asdf_rpc_wire_bytes_total",
+                    "Estimated wire bytes per RPC service.",
+                    {"service": service, "direction": "tx"},
+                ),
+                self.metrics.counter(
+                    "asdf_rpc_wire_bytes_total",
+                    "Estimated wire bytes per RPC service.",
+                    {"service": service, "direction": "rx"},
+                ),
+                self.metrics.counter(
+                    "asdf_rpc_messages_total",
+                    "RPC messages per service.",
+                    {"service": service, "direction": "tx"},
+                ),
+            )
+            self._rpc_cache[service] = cached
+        tx, rx, messages = cached
+        tx.inc(tx_wire)
+        rx.inc(rx_wire)
+        messages.inc()
+
+    # -- derived views -------------------------------------------------------
+
+    def total_run_seconds(self) -> float:
+        """Total wall-clock seconds spent inside module run() calls."""
+        return sum(h.sum for h in self._latency_cache.values())
+
+    def run_stats(self) -> Dict[str, RunStats]:
+        """Per-instance run count / mean latency / errors."""
+        stats: Dict[str, RunStats] = {}
+        for labels, hist in self.metrics.iter_children("fpt_run_latency_seconds"):
+            instance = dict(labels).get("instance", "")
+            stats[instance] = RunStats(hist.count, hist.mean, 0)
+        for labels, counter in self.metrics.iter_children(
+            "fpt_instance_run_errors_total"
+        ):
+            instance = dict(labels).get("instance", "")
+            if instance in stats:
+                stats[instance].errors = int(counter.value)
+        return stats
+
+    def summary_text(self, top: int = 15) -> str:
+        """Human-readable digest: hottest instances, queues, RPC, alarms."""
+        lines = ["telemetry summary", "================="]
+        stats = self.run_stats()
+        if stats:
+            lines.append("")
+            lines.append(f"{'instance':<24} {'runs':>8} {'mean ms':>9} "
+                         f"{'total s':>9} {'errors':>7}")
+            hottest = sorted(
+                stats.items(),
+                key=lambda kv: kv[1].runs * kv[1].mean_latency_s,
+                reverse=True,
+            )
+            for instance, s in hottest[:top]:
+                lines.append(
+                    f"{instance:<24} {s.runs:>8} {s.mean_latency_s * 1e3:>9.3f} "
+                    f"{s.runs * s.mean_latency_s:>9.3f} {s.errors:>7}"
+                )
+            if len(hottest) > top:
+                lines.append(f"... and {len(hottest) - top} more instances")
+            lines.append("")
+            lines.append(
+                f"total run() time: {self.total_run_seconds():.3f}s across "
+                f"{sum(s.runs for s in stats.values())} runs of "
+                f"{len(stats)} instances"
+            )
+        writes = self.metrics.total("fpt_output_writes_total")
+        if writes:
+            lines.append(f"output writes: {int(writes)}")
+        rpc_bytes = self.metrics.total("asdf_rpc_wire_bytes_total")
+        if rpc_bytes:
+            lines.append(f"rpc wire bytes: {int(rpc_bytes)}")
+        if self.tracer.events or self.tracer.dropped:
+            lines.append(
+                f"trace events: {len(self.tracer.events)} "
+                f"(+{self.tracer.dropped} dropped)"
+            )
+        if len(self.audit):
+            lines.append(
+                f"alarm audit trail: {len(self.audit)} records, "
+                f"culprits: {', '.join(self.audit.culprits())}"
+            )
+        return "\n".join(lines)
+
+
+#: The disabled default every core starts with; recording helpers must
+#: never be called on it (callers guard on ``enabled``), and its tracer
+#: hands out the shared no-op span.
+NULL_TELEMETRY = Telemetry(enabled=False, trace=False)

@@ -1,0 +1,220 @@
+"""Lightweight span/event tracing for the fpt-core.
+
+Records *complete events* (a name, a category, a wall-clock start and a
+duration) plus *instant events* (a point in time), in memory, with two
+export formats:
+
+* **JSONL** -- one JSON object per line, trivially greppable;
+* **Chrome trace-event format** -- a ``{"traceEvents": [...]}`` document
+  loadable in ``chrome://tracing`` / Perfetto, with one row ("thread")
+  per module instance so a run reads like a swimlane diagram.
+
+The tracer is designed around a *disabled-by-default* hot path: callers
+check ``tracer.enabled`` (one attribute access) and skip event
+construction entirely when tracing is off.  ``span()`` returns a shared
+no-op context manager in that case, so even unconditional ``with``
+usage costs almost nothing.
+
+Timestamps are wall-clock (``time.perf_counter``) because trace viewers
+want real durations; the simulated fpt-core timestamp travels in each
+event's ``args`` so simulated and real time can be correlated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["TraceEvent", "Tracer", "NULL_TRACER"]
+
+#: Events recorded beyond this cap are counted but dropped, bounding the
+#: memory of very long traced runs.  2^20 events is ~45 minutes of a
+#: 10-slave scenario traced at full detail.
+DEFAULT_MAX_EVENTS = 1 << 20
+
+
+@dataclass
+class TraceEvent:
+    """One recorded event (Chrome trace-event "X" or "i" phase)."""
+
+    name: str
+    category: str
+    phase: str            # "X" complete, "i" instant
+    start_s: float        # perf_counter seconds since tracer creation
+    duration_s: float     # 0.0 for instant events
+    track: str            # rendered as the event's thread (swimlane)
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def to_chrome(self) -> dict:
+        event = {
+            "name": self.name,
+            "cat": self.category or "default",
+            "ph": self.phase,
+            "ts": round(self.start_s * 1e6, 3),   # microseconds
+            "pid": 1,
+            "tid": self.track,
+            "args": self.args,
+        }
+        if self.phase == "X":
+            event["dur"] = round(self.duration_s * 1e6, 3)
+        else:
+            event["s"] = "t"  # instant scope: thread
+        return event
+
+    def to_json_obj(self) -> dict:
+        obj = {
+            "name": self.name,
+            "cat": self.category,
+            "ph": self.phase,
+            "start_s": self.start_s,
+            "track": self.track,
+        }
+        if self.phase == "X":
+            obj["duration_s"] = self.duration_s
+        if self.args:
+            obj["args"] = self.args
+        return obj
+
+
+class _NullSpan:
+    """Shared no-op context manager for the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Context manager measuring one complete event."""
+
+    __slots__ = ("_tracer", "_name", "_category", "_track", "_args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str,
+                 track: str, args: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._track = track
+        self._args = args
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        end = time.perf_counter()
+        self._tracer._record(TraceEvent(
+            name=self._name,
+            category=self._category,
+            phase="X",
+            start_s=self._start - self._tracer._epoch,
+            duration_s=end - self._start,
+            track=self._track,
+            args=self._args,
+        ))
+
+
+class Tracer:
+    """In-memory trace recorder with JSONL and Chrome exports."""
+
+    def __init__(self, enabled: bool = True,
+                 max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        self.enabled = enabled
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        self._epoch = time.perf_counter()
+
+    # -- recording -----------------------------------------------------------
+
+    def _record(self, event: TraceEvent) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def span(self, name: str, category: str = "", track: str = "core",
+             **args: Any):
+        """Measure a block: ``with tracer.span("run", track=instance): ...``"""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, category, track, args)
+
+    def complete(self, name: str, category: str, start_perf_s: float,
+                 duration_s: float, track: str = "core", **args: Any) -> None:
+        """Record an already-measured complete event.
+
+        ``start_perf_s`` is a raw ``time.perf_counter()`` reading taken by
+        the caller (the scheduler measures latency itself so metrics and
+        the trace share one pair of clock reads).
+        """
+        if not self.enabled:
+            return
+        self._record(TraceEvent(
+            name=name,
+            category=category,
+            phase="X",
+            start_s=start_perf_s - self._epoch,
+            duration_s=duration_s,
+            track=track,
+            args=args,
+        ))
+
+    def instant(self, name: str, category: str = "", track: str = "core",
+                **args: Any) -> None:
+        if not self.enabled:
+            return
+        self._record(TraceEvent(
+            name=name,
+            category=category,
+            phase="i",
+            start_s=time.perf_counter() - self._epoch,
+            duration_s=0.0,
+            track=track,
+            args=args,
+        ))
+
+    # -- export --------------------------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """The ``chrome://tracing`` / Perfetto JSON document."""
+        return {
+            "traceEvents": [event.to_chrome() for event in self.events],
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "producer": "repro.telemetry",
+                "droppedEvents": self.dropped,
+            },
+        }
+
+    def render_chrome_trace(self) -> str:
+        return json.dumps(self.to_chrome_trace())
+
+    def render_jsonl(self) -> str:
+        return "\n".join(
+            json.dumps(event.to_json_obj()) for event in self.events
+        ) + ("\n" if self.events else "")
+
+    def write_chrome_trace(self, path: str) -> None:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.render_chrome_trace())
+
+    def write_jsonl(self, path: str) -> None:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.render_jsonl())
+
+
+#: Shared disabled tracer; ``span()`` on it returns the shared no-op span.
+NULL_TRACER = Tracer(enabled=False, max_events=0)

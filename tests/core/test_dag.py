@@ -80,6 +80,34 @@ class TestConstruction:
             assert name in dot
         assert dot.startswith("digraph")
 
+    def test_to_dot_escapes_quotes_and_backslashes(self):
+        # The config parser rejects exotic ids, but programmatically
+        # built specs can carry them; the dot rendering must stay valid.
+        from repro.core import InstanceSpec
+
+        dag = build_dag(
+            [InstanceSpec("source", 'we"ird\\name')],
+            build_registry(),
+            SimClock(),
+            install_hooks=_install_noop_hooks,
+        )
+        dot = dag.to_dot()
+        assert '"we\\"ird\\\\name"' in dot
+        # No unescaped quote may terminate an id early: every line's
+        # quoted strings stay balanced.
+        for line in dot.splitlines():
+            assert line.count('"') - line.count('\\"') * 2 in (0, 2, 4)
+
+    def test_to_dot_run_stats_annotation(self):
+        from repro.telemetry import RunStats
+
+        dag = build(PIPELINE)
+        stats = {"src": RunStats(12, 0.0005, 0)}
+        dot = dag.to_dot(run_stats=stats)
+        assert "12 runs, 0.500 ms mean" in dot
+        # Instances without stats render unannotated.
+        assert "dbl\\n(double)" in dot
+
     def test_instance_lookup(self):
         dag = build(PIPELINE)
         assert dag.instance("src").instance_id == "src"

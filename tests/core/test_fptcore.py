@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import ConfigError, FptCore, Module, ModuleRegistry, RunReason, SimClock
 
-from .helpers import SinkModule, build_registry
+from .helpers import build_registry
 
 
 class ServiceEcho(Module):

@@ -144,9 +144,114 @@ class TestStopAndErrors:
         core.run_until(3.0)
         assert core.scheduler.total_runs == 8  # 4 source + 4 sink
 
+    def test_error_hook_returning_false_re_raises(self):
+        core = make_core("[source]\nid = s\n")
+        failures = []
+
+        def broken_run(reason):
+            raise ValueError("boom")
+
+        core.instance("s").run = broken_run
+        core.scheduler.on_error = lambda inst, exc: bool(failures.append(inst))
+        with pytest.raises(ValueError, match="boom"):
+            core.run_until(2.0)
+        # The hook saw the failure exactly once before the re-raise.
+        assert failures == ["s"]
+
     def test_next_deadline(self):
         core = make_core("[source]\nid = s\ninterval = 2.0\nphase = 1.0\n")
         assert core.scheduler.next_deadline() == 1.0
+
+
+class TestReasonSplitCounters:
+    def test_runs_split_by_reason(self):
+        core = make_core(
+            "[source]\nid = s\n\n[sink]\nid = k\ninput[a] = s.value\n"
+        )
+        core.run_until(3.0)
+        core.run_instance("s")
+        by_reason = core.scheduler.runs_by_reason
+        assert by_reason[RunReason.PERIODIC] == 4
+        # 4 triggered by periodic writes + 1 by the manual write.
+        assert by_reason[RunReason.INPUTS] == 5
+        assert by_reason[RunReason.MANUAL] == 1
+
+    def test_total_runs_is_derived_from_the_split(self):
+        core = make_core("[source]\nid = s\n")
+        core.run_until(2.0)
+        scheduler = core.scheduler
+        assert scheduler.total_runs == sum(scheduler.runs_by_reason.values())
+
+    def test_runs_by_instance(self):
+        core = make_core(
+            "[source]\nid = s\n\n[sink]\nid = k\ninput[a] = s.value\n"
+        )
+        core.run_until(3.0)
+        assert core.scheduler.runs_by_instance == {"s": 4, "k": 4}
+
+
+class TestRemoveInstance:
+    def test_stale_heap_entry_is_skipped(self):
+        core = make_core(
+            "[source]\nid = s\n\n[source]\nid = t\ninterval = 2.0\n"
+        )
+        core.run_until(1.0)
+        # 's' still has a pending heap entry for t=2.0 when detached.
+        core.scheduler.remove_instance("s")
+        core.run_until(5.0)  # must not KeyError on the stale entry
+        assert core.scheduler.runs_by_instance["s"] == 2  # t=0 and t=1 only
+        assert core.scheduler.runs_by_instance["t"] == 3  # t=0, 2, 4
+
+    def test_pending_input_triggered_run_is_dropped(self):
+        core = make_core(
+            "[source]\nid = s\n\n[sink]\nid = k\ninput[a] = s.value\n"
+        )
+        scheduler = core.scheduler
+        # Queue an input-triggered run by hand, then remove the instance
+        # before it drains.
+        scheduler._enqueue("k")
+        scheduler.remove_instance("k")
+        assert "k" not in scheduler._pending
+        assert "k" not in scheduler._pending_set
+        scheduler._drain_input_triggered()  # must not KeyError
+        assert scheduler.runs_by_instance.get("k", 0) == 0
+
+    def test_remove_unknown_instance_raises(self):
+        core = make_core("[source]\nid = s\n")
+        with pytest.raises(SchedulerError, match="no such instance"):
+            core.scheduler.remove_instance("ghost")
+
+    def test_removed_instance_no_longer_triggered_by_writes(self):
+        core = make_core(
+            "[source]\nid = s\n\n[sink]\nid = k\ninput[a] = s.value\n"
+        )
+        core.run_until(1.0)
+        core.scheduler.remove_instance("k")
+        core.run_until(4.0)
+        assert core.scheduler.runs_by_instance["k"] == 2  # before removal
+
+
+class TestAttachOutput:
+    def test_existing_hook_is_chained_not_overwritten(self):
+        core = make_core("[source]\nid = s\n\n[sink]\nid = k\ninput[a] = s.value\n")
+        output = core.instance("s").ctx.outputs["value"]
+        seen = []
+        output.on_write = lambda out, sample: seen.append(sample.value)
+        core.scheduler.attach_output(output)
+        core.run_until(2.0)
+        # The foreign hook fired on every write...
+        assert seen == [0, 1, 2]
+        # ...and the scheduler's trigger bookkeeping still worked.
+        assert len(core.instance("k").seen) == 3
+
+    def test_attaching_twice_does_not_double_trigger(self):
+        core = make_core("[source]\nid = s\n\n[sink]\nid = k\ninput[a] = s.value\n")
+        output = core.instance("s").ctx.outputs["value"]
+        # FptCore already attached during construction; attach again.
+        core.scheduler.attach_output(output)
+        core.scheduler.attach_output(output)
+        core.run_until(2.0)
+        assert len(core.instance("k").seen) == 3
 
 
 class TestDeterminism:

@@ -17,11 +17,7 @@ import pytest
 
 from repro.core import FptCore, WallClock
 from repro.hadoop import ClusterConfig, HadoopCluster, JobSpec, MB
-from repro.modules import (
-    HADOOP_LOG_CHANNEL_SERVICE,
-    SADC_CHANNEL_SERVICE,
-    standard_registry,
-)
+from repro.modules import SADC_CHANNEL_SERVICE, standard_registry
 from repro.rpc import RpcClient, RpcServer
 from repro.rpc.daemons import HadoopLogDaemon, SadcDaemon
 
@@ -100,7 +96,7 @@ class TestWallClockOverTcp:
 
     def test_wall_clock_scheduling_period_is_respected(self):
         registry = standard_registry()
-        from repro.core import Module, RunReason
+        from repro.core import Module
 
         class Ticker(Module):
             type_name = "wallclock_ticker"

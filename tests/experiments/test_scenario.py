@@ -1,6 +1,5 @@
 """Tests for the end-to-end scenario runner."""
 
-import pytest
 
 from repro.analysis import WindowDecision
 from repro.core import parse_config

@@ -1,6 +1,5 @@
 """Corner cases of the cluster simulator."""
 
-import pytest
 
 from repro.hadoop import (
     ClusterConfig,

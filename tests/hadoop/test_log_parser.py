@@ -1,7 +1,6 @@
 """Tests for the SALSA-style log parser (paper section 4.4, Figure 5)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.hadoop import (

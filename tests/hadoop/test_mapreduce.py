@@ -1,6 +1,5 @@
 """Tests for the MapReduce engine through the cluster facade."""
 
-import pytest
 
 from repro.hadoop import (
     BugKind,

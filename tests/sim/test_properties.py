@@ -1,6 +1,5 @@
 """Property-based invariants of the arbitration engine."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

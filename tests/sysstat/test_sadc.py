@@ -1,6 +1,5 @@
 """Tests for the libsadc-style sampler."""
 
-import numpy as np
 import pytest
 
 from repro.sysstat import NODE_METRICS, Sadc, SimProcFS

@@ -1,0 +1,87 @@
+"""Tests for the span/event tracer and its export formats."""
+
+import json
+
+from repro.telemetry import NULL_TRACER, Tracer
+
+
+class TestRecording:
+    def test_span_records_a_complete_event(self):
+        tracer = Tracer()
+        with tracer.span("work", category="test", track="inst", detail=1):
+            pass
+        assert len(tracer.events) == 1
+        event = tracer.events[0]
+        assert event.name == "work"
+        assert event.phase == "X"
+        assert event.track == "inst"
+        assert event.duration_s >= 0.0
+        assert event.args == {"detail": 1}
+
+    def test_complete_uses_caller_measured_times(self):
+        tracer = Tracer()
+        tracer.complete("run", "periodic", tracer._epoch + 1.0, 0.25,
+                        track="sadc01", sim_time_s=42.0)
+        event = tracer.events[0]
+        assert event.start_s == 1.0
+        assert event.duration_s == 0.25
+        assert event.args["sim_time_s"] == 42.0
+
+    def test_instant_event(self):
+        tracer = Tracer()
+        tracer.instant("alarm", track="sink")
+        assert tracer.events[0].phase == "i"
+        assert tracer.events[0].duration_s == 0.0
+
+    def test_max_events_bounds_memory(self):
+        tracer = Tracer(max_events=2)
+        for _ in range(5):
+            tracer.instant("e")
+        assert len(tracer.events) == 2
+        assert tracer.dropped == 3
+
+
+class TestDisabled:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("work"):
+            pass
+        tracer.instant("x")
+        tracer.complete("y", "", 0.0, 1.0)
+        assert tracer.events == []
+
+    def test_null_tracer_span_is_shared_noop(self):
+        a = NULL_TRACER.span("a")
+        b = NULL_TRACER.span("b")
+        assert a is b  # no per-call allocation on the disabled path
+
+
+class TestExport:
+    def test_chrome_trace_is_loadable_json(self):
+        tracer = Tracer()
+        with tracer.span("run", category="periodic", track="sadc01"):
+            pass
+        tracer.instant("alarm", track="sink")
+        document = json.loads(tracer.render_chrome_trace())
+        assert isinstance(document["traceEvents"], list)
+        complete = document["traceEvents"][0]
+        assert complete["ph"] == "X"
+        assert {"name", "cat", "ts", "dur", "pid", "tid"} <= set(complete)
+        instant = document["traceEvents"][1]
+        assert instant["ph"] == "i"
+        assert "dur" not in instant
+
+    def test_jsonl_one_object_per_line(self):
+        tracer = Tracer()
+        tracer.instant("a")
+        tracer.instant("b")
+        lines = tracer.render_jsonl().strip().split("\n")
+        assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+
+    def test_write_chrome_trace(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        path = tmp_path / "trace.json"
+        tracer.write_chrome_trace(str(path))
+        assert json.loads(path.read_text())["traceEvents"]
