@@ -15,7 +15,7 @@ is *problem-free*.  From the per-node-window alarm decisions we compute:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -26,11 +26,22 @@ class Alarm:
     node: str
     source: str = ""      # which analysis raised it (blackbox/whitebox)
     detail: str = ""
+    #: Provenance: full names of the outputs this alarm was forwarded
+    #: through (oldest first).  Combinators such as ``alarm_union``
+    #: append their delivering upstream output here, so sinks and the
+    #: audit trail can name the analysis that actually raised the alarm
+    #: even after several forwarding hops.
+    via: Tuple[str, ...] = ()
 
     def describe(self) -> str:
         origin = f" [{self.source}]" if self.source else ""
         detail = f" ({self.detail})" if self.detail else ""
         return f"t={self.time:.0f}s{origin} culprit={self.node}{detail}"
+
+    @property
+    def raised_by(self) -> Optional[str]:
+        """Full name of the output that originally raised this alarm."""
+        return self.via[0] if self.via else None
 
 
 @dataclass(frozen=True)

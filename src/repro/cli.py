@@ -12,16 +12,24 @@ Everything the evaluation does, runnable from a terminal:
                    (the paper's Figure 3 at cluster scale);
 * ``telemetry`` -- run a monitored scenario with self-instrumentation on
                    and print the summary (per-instance run latencies,
-                   queue stats, RPC bytes, the alarm audit trail).
+                   queue stats, RPC bytes, the alarm audit trail);
+* ``incident``  -- inspect the incident bundles a recorded run froze;
+* ``replay``    -- feed a recorded flight archive back through a DAG
+                   config, faster than real time, and check the replayed
+                   alarms against the recording.
 
 ``demo`` and ``telemetry`` accept ``--trace FILE`` (Chrome
 ``chrome://tracing`` trace of every module run) and ``--metrics FILE``
-(Prometheus text exposition of the core's self-metrics).
+(Prometheus text exposition of the core's self-metrics).  ``demo
+--record DIR`` attaches a flight recorder: every channel is archived to
+``DIR`` together with the trained model, the generated configuration and
+one incident bundle per alarm, ready for ``incident`` and ``replay``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -31,15 +39,27 @@ from .experiments import (
     build_asdf_config_text,
     figure6,
     figure7,
+    load_model,
     measure_overheads,
     pick_knee,
     run_scenario,
+    save_model,
     shared_model,
     table2,
 )
 from .experiments.report import render_summary, render_timeline
 from .faults import FAULT_NAMES
+from .flightrec import (
+    FlightRecorder,
+    ReplayArchive,
+    load_bundles,
+    render_bundle_text,
+    run_replay,
+)
 from .telemetry import Telemetry
+
+#: File name of the trained model saved alongside a flight archive.
+ARCHIVE_MODEL_FILE = "model.json"
 
 
 def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
@@ -102,17 +122,42 @@ def cmd_demo(args) -> int:
     telemetry = _make_telemetry(args)
     print(f"training black-box model ({args.slaves} slaves)...", flush=True)
     model = shared_model(config, training_duration_s=min(300.0, args.duration))
+    recorder = None
+    if args.record:
+        recorder = FlightRecorder(archive_dir=args.record)
+        save_model(model, os.path.join(args.record, ARCHIVE_MODEL_FILE))
+        recorder.note_manifest(
+            scenario={
+                "fault": args.fault,
+                "slaves": args.slaves,
+                "duration_s": args.duration,
+                "seed": args.seed,
+                "inject_time": args.inject,
+            }
+        )
     print(
         f"running {args.duration:.0f}s with "
         f"{args.fault or 'no fault'}...",
         flush=True,
     )
-    result = run_scenario(config, model=model, telemetry=telemetry)
+    result = run_scenario(
+        config, model=model, telemetry=telemetry, recorder=recorder
+    )
     print()
     print(render_summary(result))
     print()
     print(render_timeline(result))
     _dump_telemetry(telemetry, args)
+    if recorder is not None:
+        recorder.close()
+        stats = recorder.stats()
+        print(
+            f"\nflight archive: {args.record} "
+            f"({stats['archived_records']} records on "
+            f"{stats['channels']} channels, "
+            f"{stats['incidents']} incident bundle(s), "
+            f"{stats['incidents_suppressed']} suppressed)"
+        )
     if result.truth.faulty_node is not None:
         culprits = {alarm.node for alarm in result.alarms_all}
         if result.truth.faulty_node in culprits:
@@ -194,6 +239,69 @@ def cmd_telemetry(args) -> int:
     return 0
 
 
+def cmd_incident(args) -> int:
+    """Inspect the incident bundles in a flight-archive directory."""
+    bundles = load_bundles(args.directory)
+    if not bundles:
+        print(f"no incident bundles in {args.directory}")
+        return 1
+    shown = bundles[: args.limit] if args.limit else bundles
+    if args.json:
+        print(json.dumps([bundle for _, bundle in shown], indent=2))
+    else:
+        for i, (path, bundle) in enumerate(shown):
+            if i:
+                print()
+            print(f"{os.path.basename(path)}:")
+            print(render_bundle_text(bundle))
+        if len(shown) < len(bundles):
+            print(f"\n... and {len(bundles) - len(shown)} more bundles")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    """Replay a flight archive through a DAG config and score fidelity."""
+    archive = ReplayArchive.load(args.directory)
+    if args.config:
+        with open(args.config, encoding="utf-8") as fh:
+            config_text = fh.read()
+    else:
+        config_text = archive.manifest.get("config_text")
+        if not config_text:
+            print(
+                "error: archive manifest has no config_text; "
+                "pass --config FILE",
+                file=sys.stderr,
+            )
+            return 2
+    services = {}
+    model_path = os.path.join(args.directory, ARCHIVE_MODEL_FILE)
+    if os.path.exists(model_path):
+        services["bb_model"] = load_model(model_path)
+    print(
+        f"replaying {len(archive.records)} records "
+        f"({archive.end_time():.0f}s of recording) from {args.directory}...",
+        flush=True,
+    )
+    result = run_replay(archive, config_text, services=services)
+    for sink in sorted(result.expected):
+        replayed = result.alarms.get(sink, [])
+        expected = result.expected[sink]
+        verdict = "MATCH" if result.matches[sink] else "MISMATCH"
+        print(
+            f"  {sink}: {len(replayed)} alarms replayed, "
+            f"{len(expected)} recorded -- {verdict}"
+        )
+        for alarm in replayed:
+            print(f"    {alarm.describe()}")
+    result.core.close()
+    if result.all_match:
+        print("replay verdict: alarms identical to the recorded run.")
+        return 0
+    print("replay verdict: alarms DIFFER from the recorded run.")
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -210,6 +318,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(FAULT_NAMES),
         default="CPUHog",
         help="fault to inject (Table 2 name)",
+    )
+    demo.add_argument(
+        "--record", metavar="DIR", default=None,
+        help="attach a flight recorder and archive the run (channels, "
+        "model, config, incident bundles) into DIR",
     )
     demo.set_defaults(handler=cmd_demo)
 
@@ -258,6 +371,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scenario_args(config)
     config.set_defaults(handler=cmd_config)
+
+    incident = commands.add_parser(
+        "incident", help="inspect a recorded run's incident bundles"
+    )
+    incident.add_argument("directory", help="flight-archive directory")
+    incident.add_argument(
+        "--json", action="store_true", help="dump raw bundle JSON"
+    )
+    incident.add_argument(
+        "--limit", type=int, default=0, help="show at most N bundles"
+    )
+    incident.set_defaults(handler=cmd_incident)
+
+    replay = commands.add_parser(
+        "replay",
+        help="replay a flight archive through a DAG config and compare "
+        "alarms against the recording",
+    )
+    replay.add_argument("directory", help="flight-archive directory")
+    replay.add_argument(
+        "--config", metavar="FILE", default=None,
+        help="fpt-core configuration file (default: the config_text "
+        "stored in the archive manifest)",
+    )
+    replay.set_defaults(handler=cmd_replay)
 
     return parser
 

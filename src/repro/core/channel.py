@@ -62,6 +62,11 @@ class Connection:
         self._queue: Deque[Sample] = deque(maxlen=capacity)
         self.total_received = 0
         self.total_dropped = 0
+        #: Buffered-but-unread samples discarded by ``latest()`` when a
+        #: consumer only wants the newest value.  Distinct from
+        #: ``total_dropped`` (capacity overflow): skipping is the consumer
+        #: choosing to ignore backlog, dropping is the buffer losing data.
+        self.total_skipped = 0
         #: Instance id of the module that owns this connection; set by the
         #: DAG builder so the scheduler can attribute writes to consumers.
         self.owner_instance: Optional[str] = None
@@ -92,10 +97,16 @@ class Connection:
         return None
 
     def latest(self) -> Optional[Sample]:
-        """Drain the buffer and return only the newest sample, or ``None``."""
+        """Drain the buffer and return only the newest sample, or ``None``.
+
+        Older buffered samples are discarded and accounted for in
+        ``total_skipped`` so rate-mismatch loss stays visible in
+        :meth:`Output.stats` and telemetry.
+        """
         if not self._queue:
             return None
         sample = self._queue[-1]
+        self.total_skipped += len(self._queue) - 1
         self._queue.clear()
         return sample
 
@@ -199,5 +210,6 @@ class Output:
             "subscribers": len(self.subscribers),
             "queue_depths": self.subscriber_depths(),
             "dropped": sum(c.total_dropped for c in self.subscribers),
+            "skipped": sum(c.total_skipped for c in self.subscribers),
             "received": sum(c.total_received for c in self.subscribers),
         }

@@ -61,6 +61,12 @@ class FptCore:
 
         self._install_hooks = install_hooks
 
+        #: Optional :class:`repro.flightrec.FlightRecorder` tapping every
+        #: output; set by :meth:`set_flight_recorder` (or by the
+        #: recorder's own ``attach``).  ``None`` keeps the write hot path
+        #: at the existing ``on_write`` null check.
+        self.flight_recorder = None
+
         self.dag: Dag = build_dag(
             specs,
             registry,
@@ -163,7 +169,21 @@ class FptCore:
             self.scheduler.add_instance(self.dag.instances[instance_id])
             for output in self.dag.contexts[instance_id].outputs.values():
                 self.scheduler.attach_output(output)
+            if self.flight_recorder is not None:
+                self.flight_recorder.attach_context(
+                    self.dag.contexts[instance_id]
+                )
         return added
+
+    def set_flight_recorder(self, recorder) -> None:
+        """Tap every current and future output with ``recorder``.
+
+        Call after construction: the recorder chains itself onto the
+        scheduler's ``on_write`` hooks and registers itself as the
+        ``flight_recorder`` service so alarm sinks can freeze incident
+        bundles.  Instances attached later are tapped automatically.
+        """
+        recorder.attach(self)
 
     def detach(self, instance_id: str) -> None:
         """Detach a terminal instance (no downstream consumers) and

@@ -15,6 +15,8 @@ from .model import (
     DEFAULT_NUM_STATES,
     BlackBoxModel,
     collect_training_matrix,
+    load_model,
+    save_model,
     train_blackbox_model,
 )
 from .persist import LoadedResult, load_result, save_result
@@ -62,8 +64,10 @@ __all__ = [
     "figure7",
     "measure_overheads",
     "merge_decisions",
+    "load_model",
     "load_result",
     "pick_knee",
+    "save_model",
     "render_summary",
     "render_timeline",
     "run_scenario",

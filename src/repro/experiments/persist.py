@@ -35,6 +35,13 @@ def _jsonable(value: Any) -> Any:
     return value
 
 
+def _load_alarm(obj: Dict[str, Any]) -> Alarm:
+    # JSON has no tuples: the provenance chain round-trips as a list.
+    data = dict(obj)
+    data["via"] = tuple(data.get("via", ()))
+    return Alarm(**data)
+
+
 def save_result(result, path: Union[str, Path]) -> Path:
     """Write a :class:`ScenarioResult`'s data to ``path`` as JSON."""
     payload = {
@@ -83,9 +90,9 @@ class LoadedResult:
         self.config = ScenarioConfig(**payload["config"])
         self.truth = GroundTruth(**payload["truth"])
         self.jobs_completed = int(payload["jobs_completed"])
-        self.alarms_bb = [Alarm(**a) for a in payload["alarms"]["blackbox"]]
-        self.alarms_wb = [Alarm(**a) for a in payload["alarms"]["whitebox"]]
-        self.alarms_all = [Alarm(**a) for a in payload["alarms"]["combined"]]
+        self.alarms_bb = [_load_alarm(a) for a in payload["alarms"]["blackbox"]]
+        self.alarms_wb = [_load_alarm(a) for a in payload["alarms"]["whitebox"]]
+        self.alarms_all = [_load_alarm(a) for a in payload["alarms"]["combined"]]
         self.decisions_bb = [
             WindowDecision(**d) for d in payload["decisions"]["blackbox"]
         ]

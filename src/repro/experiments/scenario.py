@@ -185,11 +185,16 @@ def deploy_asdf(
     model: BlackBoxModel,
     config: ScenarioConfig,
     telemetry: Optional[Telemetry] = None,
+    recorder=None,
 ) -> AsdfHandles:
     """Stand up daemons, channels and the fpt-core for a cluster.
 
     ``telemetry``, if given, instruments the whole deployment: the core's
     scheduler, every data channel and every RPC channel record into it.
+    ``recorder``, a :class:`repro.flightrec.FlightRecorder`, taps every
+    output of the deployed core and (when archiving) stamps the rendered
+    configuration text into the archive manifest so the recorded run can
+    be replayed without the original scenario code.
     """
     nodes = cluster.slave_names
     sadc_daemons = {
@@ -226,13 +231,17 @@ def deploy_asdf(
         },
         "bb_model": model,
     }
+    config_text = build_asdf_config_text(nodes, config)
     core = FptCore.from_config(
-        build_asdf_config_text(nodes, config),
+        config_text,
         standard_registry(),
         SimClock(),
         services=services,
         telemetry=telemetry,
     )
+    if recorder is not None:
+        core.set_flight_recorder(recorder)
+        recorder.note_manifest(config_text=config_text, nodes=nodes)
     return AsdfHandles(
         core=core,
         sadc_daemons=sadc_daemons,
@@ -308,6 +317,7 @@ def run_scenario(
     model: Optional[BlackBoxModel] = None,
     keep_handles: bool = False,
     telemetry: Optional[Telemetry] = None,
+    recorder=None,
 ) -> ScenarioResult:
     """Execute one full evaluation run and score it."""
     if model is None:
@@ -339,7 +349,9 @@ def run_scenario(
     else:
         truth = GroundTruth(faulty_node=None)
 
-    handles = deploy_asdf(cluster, model, config, telemetry=telemetry)
+    handles = deploy_asdf(
+        cluster, model, config, telemetry=telemetry, recorder=recorder
+    )
     core = handles.core
 
     # Lock-step online operation: the cluster advances one second, then

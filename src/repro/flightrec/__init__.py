@@ -1,0 +1,54 @@
+"""Flight recorder, incident bundles and archive replay for the fpt-core.
+
+The observability layer the paper's operators would need in production
+(and that DCDB Wintermute pairs with its live analysis): record what
+flowed through every channel, freeze the evidence when an alarm fires,
+and replay captured traces through any configuration.
+
+* :class:`FlightRecorder` -- taps every output's ``on_write`` chain into
+  bounded per-channel ring buffers, optionally archiving to JSONL.
+* :func:`build_incident_bundle` / :func:`load_bundles` /
+  :func:`render_bundle_text` -- the frozen evidence behind one alarm.
+* :class:`ReplayArchive`, :class:`ReplaySourceModule`,
+  :func:`run_replay` -- deterministic faster-than-real-time replay of a
+  recorded archive through a DAG config.
+"""
+
+from .bundle import (
+    build_incident_bundle,
+    load_bundles,
+    render_bundle_text,
+    upstream_instances,
+)
+from .codec import decode_value, encode_value
+from .recorder import ArchiveWriter, ChannelRing, FlightRecorder
+from .replay import (
+    ReplayArchive,
+    ReplayRecord,
+    ReplayResult,
+    ReplaySourceModule,
+    archived_stats_rounds,
+    make_replay_registry,
+    replay_core,
+    run_replay,
+)
+
+__all__ = [
+    "ArchiveWriter",
+    "ChannelRing",
+    "FlightRecorder",
+    "ReplayArchive",
+    "ReplayRecord",
+    "ReplayResult",
+    "ReplaySourceModule",
+    "archived_stats_rounds",
+    "build_incident_bundle",
+    "decode_value",
+    "encode_value",
+    "load_bundles",
+    "make_replay_registry",
+    "render_bundle_text",
+    "replay_core",
+    "run_replay",
+    "upstream_instances",
+]

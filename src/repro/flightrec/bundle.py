@@ -1,0 +1,189 @@
+"""Incident bundles: the frozen evidence behind one fingerpointing verdict.
+
+The paper's Figures 3/4 operator sees ``DataNodeAlarm`` fire and asks
+*why*.  An incident bundle answers with everything the flight recorder
+knows at that moment:
+
+* the alarm itself (time, culprit node, raising analysis, detail) and
+  the provenance chain of outputs that delivered it to the sink;
+* the DAG path -- every instance upstream of the witnessing sink,
+  computed by walking :class:`~repro.core.dag.Dag` edges backwards from
+  the sink to the collectors, plus the edges among them;
+* the last ``window_s`` seconds of every recorded channel on that path
+  (the culprit's anomalous metric samples live here);
+* the peer-comparison vectors: the newest ``stats`` round of each
+  analysis instance on the path (per-node deviations against the
+  median);
+* the analysis configuration in force (each path instance's type and
+  parameters -- thresholds, windows, consecutive counts).
+
+Bundles are plain JSON documents so they can be shipped, diffed and
+replayed long after the run.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from collections import deque
+from typing import Dict, List, Set, Tuple
+
+from .codec import encode_value
+from .recorder import INCIDENT_FORMAT, _origin_obj
+
+__all__ = [
+    "upstream_instances",
+    "build_incident_bundle",
+    "load_bundles",
+    "render_bundle_text",
+]
+
+
+def upstream_instances(dag, instance_id: str) -> List[str]:
+    """Every instance on a path into ``instance_id``, itself included.
+
+    Walks the DAG's edges backwards (consumer to producer) until the
+    collectors; the result is sorted for stable bundle output.
+    """
+    producers: Dict[str, Set[str]] = {}
+    for edge in dag.edges:
+        producers.setdefault(edge.dst_instance, set()).add(edge.src_instance)
+    seen: Set[str] = {instance_id}
+    queue = deque([instance_id])
+    while queue:
+        current = queue.popleft()
+        for producer in producers.get(current, ()):
+            if producer not in seen:
+                seen.add(producer)
+                queue.append(producer)
+    return sorted(seen)
+
+
+def build_incident_bundle(recorder, dag, alarm, sink: str,
+                          inputs: Tuple[str, ...] = (),
+                          window_s: float = 90.0) -> dict:
+    """Freeze one alarm's evidence into a JSON-serializable bundle."""
+    path = upstream_instances(dag, sink)
+    on_path = set(path)
+    edges = [
+        {
+            "src": edge.src_instance,
+            "output": edge.output_name,
+            "dst": edge.dst_instance,
+            "input": edge.input_name,
+        }
+        for edge in dag.edges
+        if edge.src_instance in on_path and edge.dst_instance in on_path
+    ]
+
+    since = alarm.time - window_s
+    channels = {}
+    peer_comparison = {}
+    for full_name, ring in sorted(recorder.rings.items()):
+        owner, _, output_name = full_name.partition(".")
+        if owner not in on_path:
+            continue
+        samples = ring.window(since, alarm.time)
+        channels[full_name] = {
+            "origin": _origin_obj(ring.origin),
+            "evictions": ring.evictions,
+            "samples": [
+                {"t": s.timestamp, "v": encode_value(s.value)}
+                for s in samples
+            ],
+        }
+        if output_name == "stats" and samples:
+            # The newest completed analysis round: per-node deviation
+            # vectors against the peer median -- Figure 4's evidence.
+            peer_comparison[owner] = encode_value(samples[-1].value)
+
+    config = {}
+    for instance_id in path:
+        ctx = dag.contexts.get(instance_id)
+        module = dag.instances.get(instance_id)
+        if ctx is None:
+            continue
+        config[instance_id] = {
+            "type": module.type_name if module is not None else "",
+            "params": dict(ctx.params),
+        }
+
+    raised_by = alarm.via[0] if alarm.via else (inputs[0] if inputs else None)
+    return {
+        "format": INCIDENT_FORMAT,
+        "alarm": {
+            "time": alarm.time,
+            "node": alarm.node,
+            "source": alarm.source,
+            "detail": alarm.detail,
+            "via": list(alarm.via),
+        },
+        "sink": sink,
+        "delivered_via": list(inputs),
+        "raised_by": raised_by,
+        "window_s": window_s,
+        "path": path,
+        "edges": edges,
+        "channels": channels,
+        "peer_comparison": peer_comparison,
+        "config": config,
+    }
+
+
+def load_bundles(directory: str) -> List[Tuple[str, dict]]:
+    """Read every ``incident-*.json`` in ``directory``, oldest first."""
+    bundles = []
+    for path in sorted(glob.glob(os.path.join(directory, "incident-*.json"))):
+        with open(path, encoding="utf-8") as fh:
+            bundles.append((path, json.load(fh)))
+    return bundles
+
+
+def render_bundle_text(bundle: dict, channel_limit: int = 10) -> str:
+    """Human-readable digest of one incident bundle."""
+    alarm = bundle["alarm"]
+    lines = [
+        f"incident: t={alarm['time']:.0f}s culprit={alarm['node']} "
+        f"[{alarm['source']}] {alarm['detail']}",
+        f"  sink: {bundle['sink']}  raised by: {bundle.get('raised_by')}",
+        f"  delivered via: {' -> '.join(bundle.get('delivered_via', ())) or '-'}",
+        f"  dag path: {len(bundle['path'])} instances, "
+        f"{len(bundle['edges'])} edges, {bundle['window_s']:.0f}s of evidence",
+    ]
+    channels = bundle.get("channels", {})
+    shown = 0
+    for name in sorted(channels):
+        if shown >= channel_limit:
+            lines.append(f"  ... and {len(channels) - shown} more channels")
+            break
+        entry = channels[name]
+        count = len(entry["samples"])
+        if not count:
+            continue
+        t0 = entry["samples"][0]["t"]
+        t1 = entry["samples"][-1]["t"]
+        lines.append(f"  channel {name}: {count} samples [{t0:.0f}s..{t1:.0f}s]")
+        shown += 1
+    for instance, stats in sorted(bundle.get("peer_comparison", {}).items()):
+        if isinstance(stats, dict) and "items" in stats:
+            decoded = {k: v for k, v in stats["items"]}
+            nodes = decoded.get("nodes")
+            deviations = decoded.get("deviations")
+            if nodes and deviations:
+                pairs = ", ".join(
+                    f"{n}={d:.1f}" for n, d in zip(nodes, deviations)
+                )
+                lines.append(f"  peer comparison [{instance}]: {pairs}")
+    thresholds = []
+    for instance, entry in sorted(bundle.get("config", {}).items()):
+        params = entry.get("params", {})
+        interesting = {
+            k: v for k, v in params.items()
+            if k in ("threshold", "k", "bound", "consecutive", "window")
+        }
+        if interesting:
+            rendered = ", ".join(f"{k}={v}" for k, v in sorted(interesting.items()))
+            thresholds.append(f"  config [{instance}]: {rendered}")
+    lines.extend(thresholds)
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""JSON value codec for recorded channel samples.
+
+Samples flowing through fpt-core channels carry heterogeneous payloads:
+numpy vectors (sadc/hadoop_log), plain ints (knn state indices),
+:class:`~repro.analysis.metrics.Alarm` objects, lists of
+:class:`~repro.analysis.metrics.WindowDecision`, and stats dicts mixing
+all of the above.  The flight recorder archives every one of them as
+JSONL, and archive replay must reconstruct values faithfully enough that
+re-running the same DAG reproduces the same alarms -- so the codec is a
+bijection for every type the standard module library emits.
+
+Tagged encodings use a ``"__kind__"`` discriminator; everything already
+JSON-native passes through untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..analysis.metrics import Alarm, WindowDecision
+
+__all__ = ["encode_value", "decode_value"]
+
+_KIND = "__kind__"
+
+
+def encode_value(value: Any) -> Any:
+    """Convert ``value`` into a JSON-serializable structure."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.ndarray):
+        return {_KIND: "ndarray", "dtype": str(value.dtype),
+                "data": value.tolist()}
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, Alarm):
+        return {
+            _KIND: "alarm",
+            "time": value.time,
+            "node": value.node,
+            "source": value.source,
+            "detail": value.detail,
+            "via": list(value.via),
+        }
+    if isinstance(value, WindowDecision):
+        return {
+            _KIND: "decision",
+            "node": value.node,
+            "window_start": value.window_start,
+            "window_end": value.window_end,
+            "alarmed": value.alarmed,
+        }
+    if isinstance(value, tuple):
+        return {_KIND: "tuple", "items": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        return {_KIND: "dict",
+                "items": [[str(k), encode_value(v)] for k, v in value.items()]}
+    # Last resort for exotic module payloads: keep the repr so the
+    # archive stays readable even if the value cannot be replayed.
+    return {_KIND: "repr", "repr": repr(value)}
+
+
+def decode_value(obj: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(obj, list):
+        return [decode_value(v) for v in obj]
+    if not isinstance(obj, dict):
+        return obj
+    kind = obj.get(_KIND)
+    if kind == "ndarray":
+        return np.asarray(obj["data"], dtype=np.dtype(obj["dtype"]))
+    if kind == "alarm":
+        return Alarm(
+            time=obj["time"], node=obj["node"], source=obj["source"],
+            detail=obj["detail"], via=tuple(obj.get("via", ())),
+        )
+    if kind == "decision":
+        return WindowDecision(
+            node=obj["node"], window_start=obj["window_start"],
+            window_end=obj["window_end"], alarmed=obj["alarmed"],
+        )
+    if kind == "tuple":
+        return tuple(decode_value(v) for v in obj["items"])
+    if kind == "dict":
+        return {k: decode_value(v) for k, v in obj["items"]}
+    if kind == "repr":
+        return obj["repr"]
+    # A plain dict written by an older archive (no tag): decode values.
+    return {k: decode_value(v) for k, v in obj.items()}

@@ -1,0 +1,382 @@
+"""The channel-level flight recorder.
+
+Production fingerpointing needs more than an alarm log: when the
+``print`` sink indicts a node, the operator wants the *evidence* -- the
+metric windows, peer comparisons and DAG path that produced the verdict.
+The :class:`FlightRecorder` taps every :class:`~repro.core.Output` of a
+running core through the existing ``on_write`` hook chain and keeps the
+recent past of every channel in a bounded ring buffer (bounded both by
+sample count and by wall-window, sadc-archive style).  Optionally every
+sample is also streamed to an on-disk JSONL archive that
+:mod:`repro.flightrec.replay` can feed back through any DAG config.
+
+When an :class:`~repro.analysis.metrics.Alarm` reaches a sink, the sink
+calls :meth:`FlightRecorder.record_incident`, which freezes an *incident
+bundle* (see :mod:`repro.flightrec.bundle`): the alarm, the last N
+seconds of every channel on the DAG path upstream of the sink, the peer
+comparison vectors, and the analysis configuration in force.
+
+With no recorder attached the core's hot path is untouched -- writing to
+an output still costs only the existing ``on_write`` null check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.channel import Origin, Output, Sample
+from .codec import encode_value
+
+__all__ = ["ChannelRing", "ArchiveWriter", "FlightRecorder"]
+
+#: Default per-channel ring capacity (samples).
+DEFAULT_RING_SAMPLES = 512
+#: Default ring wall-window (seconds of history kept per channel).
+DEFAULT_RING_WINDOW_S = 300.0
+
+ARCHIVE_SAMPLES_FILE = "samples.jsonl"
+ARCHIVE_OUTPUTS_FILE = "outputs.json"
+ARCHIVE_MANIFEST_FILE = "manifest.json"
+ARCHIVE_FORMAT = "asdf-flight-archive/1"
+INCIDENT_FORMAT = "asdf-incident-bundle/1"
+
+
+def _estimate_bytes(value: Any) -> int:
+    """Cheap in-memory size estimate for ring-buffer pressure gauges."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes) + 112
+    if isinstance(value, (list, tuple)):
+        return 56 + 32 * len(value)
+    if isinstance(value, dict):
+        return 64 + 72 * len(value)
+    try:
+        return sys.getsizeof(value)
+    except TypeError:  # pragma: no cover - exotic objects
+        return 64
+
+
+def _origin_obj(origin: Optional[Origin]) -> Optional[dict]:
+    if origin is None:
+        return None
+    return {"node": origin.node, "source": origin.source,
+            "metric": origin.metric}
+
+
+class ChannelRing:
+    """Recent history of one output channel, bounded two ways.
+
+    At most ``max_samples`` samples are retained, and samples older than
+    ``window_s`` before the newest timestamp are evicted on every push --
+    whichever bound bites first.
+    """
+
+    __slots__ = ("name", "origin", "max_samples", "window_s", "_entries",
+                 "bytes", "evictions", "total_recorded")
+
+    def __init__(self, name: str, origin: Optional[Origin],
+                 max_samples: int, window_s: float) -> None:
+        self.name = name
+        self.origin = origin
+        self.max_samples = max(1, int(max_samples))
+        self.window_s = float(window_s)
+        #: (sample, estimated_bytes) pairs, oldest first.
+        self._entries: Deque[Tuple[Sample, int]] = deque()
+        self.bytes = 0
+        self.evictions = 0
+        self.total_recorded = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, sample: Sample, est_bytes: int) -> None:
+        self._entries.append((sample, est_bytes))
+        self.bytes += est_bytes
+        self.total_recorded += 1
+        horizon = sample.timestamp - self.window_s
+        entries = self._entries
+        while len(entries) > self.max_samples or (
+            entries and entries[0][0].timestamp < horizon
+        ):
+            _, evicted_bytes = entries.popleft()
+            self.bytes -= evicted_bytes
+            self.evictions += 1
+
+    def window(self, start: Optional[float] = None,
+               end: Optional[float] = None) -> List[Sample]:
+        """Buffered samples with ``start <= timestamp <= end``, oldest first."""
+        lo = float("-inf") if start is None else start
+        hi = float("inf") if end is None else end
+        return [s for s, _ in self._entries if lo <= s.timestamp <= hi]
+
+
+class ArchiveWriter:
+    """Streams every recorded sample to a JSONL archive directory.
+
+    Layout: ``samples.jsonl`` (one record per write: sample timestamp
+    ``t``, emission clock time ``at``, output full name ``o``, encoded
+    value ``v``), ``outputs.json`` (per-output metadata: owner, name,
+    origin -- what replay needs to recreate the channels), and
+    ``manifest.json`` (format tag, counters, plus whatever the embedding
+    application notes, e.g. the configuration text).
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self._fh = open(
+            os.path.join(directory, ARCHIVE_SAMPLES_FILE), "w",
+            encoding="utf-8",
+        )
+        self._outputs: Dict[str, dict] = {}
+        self.records_written = 0
+
+    def note_output(self, output: Output) -> None:
+        if output.full_name not in self._outputs:
+            self._outputs[output.full_name] = {
+                "owner": output.owner_id,
+                "name": output.name,
+                "origin": _origin_obj(output.origin),
+            }
+
+    def write_sample(self, output: Output, sample: Sample,
+                     emitted_at: float) -> None:
+        record = {
+            "t": sample.timestamp,
+            "at": emitted_at,
+            "o": output.full_name,
+            "v": encode_value(sample.value),
+        }
+        self._fh.write(json.dumps(record) + "\n")
+        self.records_written += 1
+
+    def write_incident(self, bundle: dict, index: int) -> str:
+        path = os.path.join(self.directory, f"incident-{index:04d}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(bundle, fh, indent=2, sort_keys=True)
+        return path
+
+    def close(self, manifest: Optional[dict] = None) -> None:
+        if self._fh is None:
+            return
+        self._fh.close()
+        self._fh = None
+        with open(
+            os.path.join(self.directory, ARCHIVE_OUTPUTS_FILE), "w",
+            encoding="utf-8",
+        ) as fh:
+            json.dump(self._outputs, fh, indent=2, sort_keys=True)
+        payload = {"format": ARCHIVE_FORMAT,
+                   "records": self.records_written}
+        if manifest:
+            payload.update(manifest)
+        with open(
+            os.path.join(self.directory, ARCHIVE_MANIFEST_FILE), "w",
+            encoding="utf-8",
+        ) as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+
+
+class FlightRecorder:
+    """Per-output ring buffers + optional archive + incident bundles."""
+
+    def __init__(
+        self,
+        max_samples: int = DEFAULT_RING_SAMPLES,
+        window_s: float = DEFAULT_RING_WINDOW_S,
+        archive_dir: Optional[str] = None,
+        bundle_window_s: float = 90.0,
+        max_incidents: int = 64,
+        incident_cooldown_s: float = 60.0,
+    ) -> None:
+        self.max_samples = max_samples
+        self.window_s = window_s
+        self.bundle_window_s = bundle_window_s
+        self.max_incidents = max_incidents
+        self.incident_cooldown_s = incident_cooldown_s
+        self.rings: Dict[str, ChannelRing] = {}
+        self.archive = ArchiveWriter(archive_dir) if archive_dir else None
+        self.incidents: List[dict] = []
+        self.incidents_suppressed = 0
+        self._last_incident: Dict[Tuple[str, str], float] = {}
+        self._manifest_notes: dict = {}
+        self._core = None
+        self._gauges = None
+        self._closed = False
+
+    # -- attachment ----------------------------------------------------------
+
+    def attach(self, core) -> None:
+        """Tap every output of ``core`` and register as its recorder.
+
+        Must be called after the core is constructed (so the scheduler's
+        write hooks are already installed and can be chained).  Newly
+        attached instances (``core.attach``) are tapped by the core
+        itself through ``core.flight_recorder``.
+        """
+        self._core = core
+        core.flight_recorder = self
+        if core.telemetry.enabled:
+            self._register_gauges(core.telemetry.metrics)
+        for ctx in core.dag.contexts.values():
+            self.attach_context(ctx)
+
+    def attach_context(self, ctx) -> None:
+        """Tap one module context: its outputs plus the sink service."""
+        ctx.services.setdefault("flight_recorder", self)
+        for output in ctx.outputs.values():
+            self.attach_output(output)
+
+    def attach_output(self, output: Output) -> None:
+        ring = self._ring(output)
+        existing = output.on_write
+        record = self._record
+
+        def tap(out: Output, sample: Sample, _ring=ring) -> None:
+            if existing is not None:
+                existing(out, sample)
+            record(_ring, out, sample)
+
+        if existing is not None:
+            # Preserve the scheduler's already-attached marker so a
+            # repeated Scheduler.attach_output stays a no-op.
+            tap._includes_scheduler_hook = getattr(  # type: ignore[attr-defined]
+                existing, "_includes_scheduler_hook", True
+            )
+        output.on_write = tap
+        if self.archive is not None:
+            self.archive.note_output(output)
+
+    def _ring(self, output: Output) -> ChannelRing:
+        ring = self.rings.get(output.full_name)
+        if ring is None:
+            ring = ChannelRing(
+                output.full_name, output.origin,
+                self.max_samples, self.window_s,
+            )
+            self.rings[output.full_name] = ring
+        return ring
+
+    # -- recording -----------------------------------------------------------
+
+    def _record(self, ring: ChannelRing, output: Output,
+                sample: Sample) -> None:
+        ring.push(sample, _estimate_bytes(sample.value))
+        if self.archive is not None:
+            emitted_at = (
+                self._core.clock.now() if self._core is not None
+                else sample.timestamp
+            )
+            self.archive.write_sample(output, sample, emitted_at)
+        if self._gauges is not None:
+            self._update_gauges()
+
+    def _register_gauges(self, metrics) -> None:
+        self._gauges = (
+            metrics.gauge(
+                "fpt_flightrec_buffered_samples",
+                "Samples currently held across all flight-recorder rings.",
+            ),
+            metrics.gauge(
+                "fpt_flightrec_buffered_bytes",
+                "Estimated bytes currently held in flight-recorder rings.",
+            ),
+            metrics.gauge(
+                "fpt_flightrec_evictions_total",
+                "Samples evicted from flight-recorder rings (capacity or "
+                "wall-window pressure).",
+            ),
+            metrics.gauge(
+                "fpt_flightrec_records_total",
+                "Samples ever recorded by the flight recorder.",
+            ),
+            metrics.gauge(
+                "fpt_flightrec_incidents_total",
+                "Incident bundles frozen by the flight recorder.",
+            ),
+        )
+        self._update_gauges()
+
+    def _update_gauges(self) -> None:
+        buffered, buffered_bytes, evictions, records, incidents = self._gauges
+        rings = self.rings.values()
+        buffered.set(sum(len(r) for r in rings))
+        buffered_bytes.set(sum(r.bytes for r in rings))
+        evictions.set(sum(r.evictions for r in rings))
+        records.set(sum(r.total_recorded for r in rings))
+        incidents.set(len(self.incidents))
+
+    # -- incidents -----------------------------------------------------------
+
+    def record_incident(self, alarm, sink: str,
+                        inputs: Tuple[str, ...] = ()) -> Optional[dict]:
+        """Freeze an incident bundle for ``alarm`` as seen by ``sink``.
+
+        Returns the bundle, or ``None`` when suppressed (per-culprit
+        cooldown or the ``max_incidents`` cap).  ``inputs`` is the
+        provenance chain of outputs that delivered the alarm, newest
+        last (the sink's own delivering connection).
+        """
+        if self._core is None or len(self.incidents) >= self.max_incidents:
+            self.incidents_suppressed += 1
+            return None
+        key = (alarm.node, alarm.source)
+        last = self._last_incident.get(key)
+        if last is not None and alarm.time - last < self.incident_cooldown_s:
+            self.incidents_suppressed += 1
+            return None
+        self._last_incident[key] = alarm.time
+        from .bundle import build_incident_bundle
+
+        bundle = build_incident_bundle(
+            self, self._core.dag, alarm, sink=sink, inputs=inputs,
+            window_s=self.bundle_window_s,
+        )
+        self.incidents.append(bundle)
+        if self.archive is not None:
+            self.archive.write_incident(bundle, len(self.incidents))
+        if self._gauges is not None:
+            self._update_gauges()
+        return bundle
+
+    # -- views / lifecycle ---------------------------------------------------
+
+    def window(self, full_name: str, start: Optional[float] = None,
+               end: Optional[float] = None) -> List[Sample]:
+        ring = self.rings.get(full_name)
+        return ring.window(start, end) if ring is not None else []
+
+    def stats(self) -> dict:
+        """Recorder-level accounting snapshot."""
+        rings = self.rings.values()
+        return {
+            "channels": len(self.rings),
+            "buffered_samples": sum(len(r) for r in rings),
+            "buffered_bytes": sum(r.bytes for r in rings),
+            "evictions": sum(r.evictions for r in rings),
+            "recorded": sum(r.total_recorded for r in rings),
+            "incidents": len(self.incidents),
+            "incidents_suppressed": self.incidents_suppressed,
+            "archived_records": (
+                self.archive.records_written if self.archive else 0
+            ),
+        }
+
+    def note_manifest(self, **entries) -> None:
+        """Add entries to the archive manifest written at close."""
+        self._manifest_notes.update(entries)
+
+    def close(self) -> None:
+        """Flush and close the on-disk archive; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.archive is not None:
+            manifest = dict(self._manifest_notes)
+            manifest["stats"] = self.stats()
+            self.archive.close(manifest)

@@ -6,22 +6,67 @@
 * ``alarm_union`` -- merges several alarm streams into one, implementing
   the paper's *combined* black-box + white-box fingerpointer ("combining
   the outputs of the white-box and black-box analysis yielded a modest
-  improvement").
+  improvement").  Forwarded alarms keep their provenance: the union
+  appends the delivering upstream output to the alarm's ``via`` chain,
+  so sinks, the audit trail and incident bundles name the analysis that
+  actually raised the alarm, not the union.
 
 When the owning core has telemetry enabled, every alarm that reaches a
 ``print`` sink is also written to the core's append-only
 :class:`~repro.telemetry.AlarmAuditTrail` -- timestamp, culprit node,
 raising analysis, the threshold evidence in the alarm's detail, the sink
-that witnessed it and the upstream output that delivered it -- so each
-fingerpointing verdict stays explainable after the run.
+that witnessed it and the full chain of outputs that delivered it.  When
+a :class:`~repro.flightrec.FlightRecorder` is attached to the core, each
+alarm additionally freezes an *incident bundle* (the recorded channel
+windows, peer comparisons and config on the alarm's DAG path).
+
+Non-quiet alarm echo goes through the ``repro.alarms`` logger (stdout by
+default), so recorded runs can capture or redirect alarm text with
+standard :mod:`logging` handlers.
 """
 
 from __future__ import annotations
 
+import logging
+import sys
+from dataclasses import replace
 from typing import List
 
 from ..analysis.metrics import Alarm
 from ..core import Module, RunReason, Sample
+
+#: Logger carrying non-quiet ``print``-sink echo lines.
+ALARM_LOGGER_NAME = "repro.alarms"
+
+
+class _StdoutHandler(logging.StreamHandler):
+    """StreamHandler that resolves ``sys.stdout`` at emit time.
+
+    Looking the stream up lazily keeps the historical stdout behaviour
+    under test harnesses that swap ``sys.stdout`` (pytest's capsys).
+    """
+
+    def emit(self, record: logging.LogRecord) -> None:
+        self.stream = sys.stdout
+        super().emit(record)
+
+
+def alarm_logger() -> logging.Logger:
+    """The ``repro.alarms`` logger, defaulting to bare lines on stdout.
+
+    The default handler is only installed when no handler was configured
+    first, so applications (and tests) can redirect alarm text by adding
+    their own handler before the first alarm fires.
+    """
+    logger = logging.getLogger(ALARM_LOGGER_NAME)
+    if not logger.handlers:
+        handler = _StdoutHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+        logger.propagate = False
+    if logger.level == logging.NOTSET:
+        logger.setLevel(logging.INFO)
+    return logger
 
 
 class PrintModule(Module):
@@ -47,27 +92,37 @@ class PrintModule(Module):
 
     def run(self, reason: RunReason) -> None:
         telemetry = self.ctx.telemetry
+        # Installed by FlightRecorder.attach after core construction;
+        # absent on unrecorded cores, so this is one dict lookup per run.
+        recorder = self.ctx.services.get("flight_recorder")
+        logger = None if self.quiet else alarm_logger()
         for group in self.ctx.inputs.values():
             for connection in group:
                 for sample in connection.pop_all():
                     self.received.append(sample)
                     value = sample.value
-                    if telemetry.enabled and isinstance(value, Alarm):
-                        telemetry.audit.record(
-                            time=value.time,
-                            node=value.node,
-                            source=value.source,
-                            detail=value.detail,
-                            sink=self.instance_id,
-                            inputs=(connection.output.full_name,),
-                        )
-                    if not self.quiet:
+                    if isinstance(value, Alarm):
+                        delivered = value.via + (connection.output.full_name,)
+                        if telemetry.enabled:
+                            telemetry.audit.record(
+                                time=value.time,
+                                node=value.node,
+                                source=value.source,
+                                detail=value.detail,
+                                sink=self.instance_id,
+                                inputs=delivered,
+                            )
+                        if recorder is not None:
+                            recorder.record_incident(
+                                value, sink=self.instance_id, inputs=delivered,
+                            )
+                    if logger is not None:
                         text = (
                             value.describe()
                             if isinstance(value, Alarm)
                             else repr(value)
                         )
-                        print(f"[{self.prefix}] {text}")
+                        logger.info("[%s] %s", self.prefix, text)
 
 
 class AlarmUnionModule(Module):
@@ -88,7 +143,12 @@ class AlarmUnionModule(Module):
     def run(self, reason: RunReason) -> None:
         for group in self.ctx.inputs.values():
             for connection in group:
+                upstream = connection.output.full_name
                 for sample in connection.pop_all():
                     if isinstance(sample.value, Alarm):
-                        self.out.write(sample.value, sample.timestamp)
+                        alarm = sample.value
+                        forwarded = replace(
+                            alarm, via=alarm.via + (upstream,)
+                        )
+                        self.out.write(forwarded, sample.timestamp)
                         self.forwarded += 1

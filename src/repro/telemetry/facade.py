@@ -23,9 +23,16 @@ family                                    type       labels
 ``fpt_output_writes_total``               counter    ``output``
 ``fpt_output_queue_depth``                gauge      ``output`` (high-watermark)
 ``fpt_output_dropped_total``              gauge      ``output``
+``fpt_output_skipped_total``              gauge      ``output``
 ``asdf_rpc_wire_bytes_total``             counter    ``service``, ``direction``
 ``asdf_rpc_messages_total``               counter    ``service``, ``direction``
 ========================================  =========  =============================
+
+The flight recorder (:mod:`repro.flightrec`) registers its own gauge
+families when attached to a telemetry-enabled core:
+``fpt_flightrec_buffered_samples``, ``fpt_flightrec_buffered_bytes``,
+``fpt_flightrec_evictions_total``, ``fpt_flightrec_records_total`` and
+``fpt_flightrec_incidents_total``.
 """
 
 from __future__ import annotations
@@ -158,14 +165,21 @@ class Telemetry:
                     "Samples dropped from full subscriber queues per output.",
                     labels,
                 ),
+                self.metrics.gauge(
+                    "fpt_output_skipped_total",
+                    "Buffered samples discarded unread by latest()-style "
+                    "consumers per output.",
+                    labels,
+                ),
             )
             self._output_cache[name] = cached
-        writes, depth, dropped = cached
+        writes, depth, dropped, skipped = cached
         writes.inc()
         subscribers = output.subscribers
         if subscribers:
             depth.set_max(max(len(c) for c in subscribers))
             dropped.set(sum(c.total_dropped for c in subscribers))
+            skipped.set(sum(c.total_skipped for c in subscribers))
 
     # -- rpc hooks -----------------------------------------------------------
 

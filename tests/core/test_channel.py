@@ -82,6 +82,33 @@ class TestConnection:
     def test_latest_on_empty_is_none(self):
         assert make_output().subscribe().latest() is None
 
+    def test_latest_counts_skipped_samples(self):
+        output = make_output()
+        conn = output.subscribe()
+        for i in range(4):
+            output.write(i, timestamp=float(i))
+        assert conn.latest().value == 3
+        # Three older samples were silently discarded -- now accounted.
+        assert conn.total_skipped == 3
+        assert conn.latest() is None
+        assert conn.total_skipped == 3
+
+    def test_latest_single_sample_skips_nothing(self):
+        output = make_output()
+        conn = output.subscribe()
+        output.write(1, timestamp=0.0)
+        assert conn.latest().value == 1
+        assert conn.total_skipped == 0
+
+    def test_skipped_is_distinct_from_dropped(self):
+        output = make_output()
+        conn = output.subscribe(capacity=2)
+        for i in range(5):
+            output.write(i, timestamp=float(i))
+        assert conn.latest().value == 4
+        assert conn.total_dropped == 3   # capacity overflow at write time
+        assert conn.total_skipped == 1   # consumer-side rate mismatch
+
     def test_capacity_drops_oldest(self):
         output = make_output()
         conn = output.subscribe(capacity=2)
@@ -138,3 +165,22 @@ class TestInputGroup:
         group = InputGroup("input")
         group.connections.append(make_output().subscribe())
         assert group.pop_latest_vector() == [None]
+
+    def test_pop_latest_vector_counts_skipped(self):
+        group = InputGroup("input")
+        output = make_output()
+        group.connections.append(output.subscribe())
+        for i in range(3):
+            output.write(i, timestamp=float(i))
+        assert group.pop_latest_vector()[0].value == 2
+        assert group[0].total_skipped == 2
+
+    def test_output_stats_aggregate_skips(self):
+        output = make_output()
+        conn = output.subscribe()
+        for i in range(5):
+            output.write(i, timestamp=float(i))
+        conn.latest()
+        stats = output.stats()
+        assert stats["skipped"] == 4
+        assert stats["dropped"] == 0

@@ -1,0 +1,158 @@
+"""Tests for incident bundles on a multi-stage diagnosis DAG."""
+
+import json
+
+from repro.flightrec import (
+    FlightRecorder,
+    load_bundles,
+    render_bundle_text,
+    upstream_instances,
+)
+
+from .helpers import build_core
+
+#: Two collectors -> smoothing -> rule analyses -> union -> sink, plus an
+#: unrelated branch that must stay out of the sink's incident bundles.
+MULTI_STAGE_CONFIG = """
+[scripted]
+id = src_a
+node = slave01
+
+[mavgvec]
+id = mavg_a
+input[input] = src_a.value
+window = 2
+slide = 2
+
+[threshold_alarm]
+id = thr_a
+input[m] = mavg_a.mean
+bound = 10.0
+consecutive = 1
+
+[scripted]
+id = src_b
+node = slave02
+
+[threshold_alarm]
+id = thr_b
+input[m] = src_b.value
+bound = 10.0
+consecutive = 1
+
+[alarm_union]
+id = union
+input[a] = thr_a.alarms
+input[b] = thr_b.alarms
+
+[print]
+id = sink
+input[a] = union.alarms
+
+[scripted]
+id = src_other
+node = slave99
+
+[print]
+id = other_sink
+input[a] = src_other.value
+"""
+
+SCRIPTS = {
+    "src_a": [20.0] * 8,      # smoothed mean 20 > bound 10 -> alarms
+    "src_b": [1.0] * 8,       # never violates
+    "src_other": [5.0] * 8,   # unrelated traffic
+}
+
+
+def run_recorded(archive_dir=None):
+    core = build_core(MULTI_STAGE_CONFIG, {"script": dict(SCRIPTS)})
+    recorder = FlightRecorder(archive_dir=archive_dir)
+    core.set_flight_recorder(recorder)
+    core.run_until(8.0)
+    return core, recorder
+
+
+class TestUpstreamWalk:
+    def test_walk_stops_at_collectors(self):
+        core, _ = run_recorded()
+        assert upstream_instances(core.dag, "sink") == [
+            "mavg_a", "sink", "src_a", "src_b", "thr_a", "thr_b", "union",
+        ]
+
+    def test_unrelated_branch_excluded(self):
+        core, _ = run_recorded()
+        path = upstream_instances(core.dag, "sink")
+        assert "src_other" not in path and "other_sink" not in path
+
+    def test_collector_path_is_itself(self):
+        core, _ = run_recorded()
+        assert upstream_instances(core.dag, "src_a") == ["src_a"]
+
+
+class TestIncidentBundle:
+    def test_sink_freezes_bundle_automatically(self):
+        core, recorder = run_recorded()
+        assert len(recorder.incidents) == 1
+        bundle = recorder.incidents[0]
+        assert bundle["format"] == "asdf-incident-bundle/1"
+        assert bundle["sink"] == "sink"
+        assert bundle["alarm"]["node"] == "slave01"
+
+    def test_bundle_names_true_raiser(self):
+        _, recorder = run_recorded()
+        bundle = recorder.incidents[0]
+        # The union forwarded it, but thr_a raised it.
+        assert bundle["raised_by"] == "thr_a.alarms"
+        assert bundle["delivered_via"] == ["thr_a.alarms", "union.alarms"]
+        assert bundle["alarm"]["via"] == ["thr_a.alarms"]
+
+    def test_bundle_covers_the_dag_path(self):
+        core, recorder = run_recorded()
+        bundle = recorder.incidents[0]
+        assert bundle["path"] == upstream_instances(core.dag, "sink")
+        edge_pairs = {(e["src"], e["dst"]) for e in bundle["edges"]}
+        assert ("src_a", "mavg_a") in edge_pairs
+        assert ("union", "sink") in edge_pairs
+        assert all(
+            src != "src_other" and dst != "other_sink"
+            for src, dst in edge_pairs
+        )
+
+    def test_bundle_contains_culprit_samples(self):
+        _, recorder = run_recorded()
+        channels = recorder.incidents[0]["channels"]
+        assert "src_other.value" not in channels
+        culprit = channels["src_a.value"]
+        assert culprit["origin"]["node"] == "slave01"
+        values = [s["v"] for s in culprit["samples"]]
+        assert values and all(v == 20.0 for v in values)
+        # The anomalous window ends at the alarm time.
+        alarm_time = recorder.incidents[0]["alarm"]["time"]
+        assert culprit["samples"][-1]["t"] <= alarm_time
+
+    def test_bundle_captures_config_in_force(self):
+        _, recorder = run_recorded()
+        config = recorder.incidents[0]["config"]
+        assert config["thr_a"]["type"] == "threshold_alarm"
+        assert config["thr_a"]["params"]["bound"] == "10.0"
+        assert config["mavg_a"]["params"]["window"] == "2"
+        assert "src_other" not in config
+
+    def test_bundles_written_and_reloadable(self, tmp_path):
+        _, recorder = run_recorded(archive_dir=str(tmp_path))
+        recorder.close()
+        bundles = load_bundles(str(tmp_path))
+        assert len(bundles) == 1
+        path, bundle = bundles[0]
+        assert path.endswith("incident-0001.json")
+        assert bundle == json.loads(json.dumps(bundle))  # plain JSON
+        assert bundle["alarm"]["node"] == "slave01"
+
+    def test_render_bundle_text_digest(self):
+        _, recorder = run_recorded()
+        text = render_bundle_text(recorder.incidents[0])
+        assert "culprit=slave01" in text
+        assert "raised by: thr_a.alarms" in text
+        assert "channel src_a.value" in text
+        assert "config [thr_a]" in text and "bound=10.0" in text

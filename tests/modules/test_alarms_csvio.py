@@ -1,6 +1,7 @@
 """Tests for the print sink, the alarm union, and the CSV logger."""
 
 import csv
+from dataclasses import replace
 
 import pytest
 
@@ -43,6 +44,42 @@ class TestPrintModule:
         with pytest.raises(ConfigError, match="no inputs"):
             build_core("[print]\nid = sink\n", {"script": {}})
 
+    def test_echo_routes_through_logging(self, capsys):
+        import logging
+
+        from repro.modules.alarms import ALARM_LOGGER_NAME
+
+        logger = logging.getLogger(ALARM_LOGGER_NAME)
+        saved = logger.handlers[:]
+        for handler in saved:
+            logger.removeHandler(handler)
+        messages = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                messages.append(record.getMessage())
+
+        logger.addHandler(Capture())
+        logger.propagate = False
+        try:
+            config = (
+                "[scripted]\nid = src\n\n"
+                "[print]\nid = sink\nquiet = false\nprefix = LOGGED\n"
+                "input[a] = src.value\n"
+            )
+            core = build_core(
+                config, {"script": {"src": [Alarm(time=0.0, node="bad")]}}
+            )
+            core.run_until(0.0)
+        finally:
+            for handler in logger.handlers[:]:
+                logger.removeHandler(handler)
+            for handler in saved:
+                logger.addHandler(handler)
+        # A user-installed handler owns the echo: stdout stays silent.
+        assert any("[LOGGED]" in m and "bad" in m for m in messages)
+        assert capsys.readouterr().out == ""
+
 
 class TestAlarmUnion:
     def test_merges_multiple_streams(self):
@@ -55,7 +92,13 @@ class TestAlarmUnion:
         )
         core = build_core(config, {"script": {"bb": [a1], "wb": [None, a2]}})
         core.run_until(2.0)
-        assert collected(core, "sink") == [a1, a2]
+        merged = collected(core, "sink")
+        assert [replace(a, via=()) for a in merged] == [a1, a2]
+        # The union stamps provenance: the upstream output that raised
+        # each alarm survives the merge.
+        assert merged[0].via == ("bb.value",)
+        assert merged[1].via == ("wb.value",)
+        assert merged[0].raised_by == "bb.value"
 
     def test_non_alarms_are_dropped(self):
         config = (
