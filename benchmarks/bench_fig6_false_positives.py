@@ -10,9 +10,9 @@ fall steeply from their maximum at parameter 0, and flatten -- the knee
 is where the paper (and this reproduction) fixes the operating point.
 """
 
-from conftest import EVAL_CONFIG
+from conftest import BENCH_JOBS, EVAL_CONFIG, emit_bench
 
-from repro.experiments import ScenarioConfig, figure6, pick_knee
+from repro.experiments import figure6, pick_knee
 
 THRESHOLDS = list(range(0, 125, 5))
 KS = [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0]
@@ -21,11 +21,16 @@ KS = [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0]
 def test_figure6_false_positive_sweeps(benchmark, eval_model):
     result = benchmark.pedantic(
         lambda: figure6(
-            EVAL_CONFIG, thresholds=THRESHOLDS, ks=KS, model=eval_model
+            EVAL_CONFIG,
+            thresholds=THRESHOLDS,
+            ks=KS,
+            model=eval_model,
+            jobs=BENCH_JOBS,
         ),
         rounds=1,
         iterations=1,
     )
+    emit_bench(result.engine, "fig6")
 
     print("\n" + result.render())
     bb_knee = pick_knee(result.blackbox)

@@ -23,6 +23,12 @@ def test_figure7a_balanced_accuracy(benchmark, figure7_result):
 
     print(f"\n(averaged over seeds {EVAL_SEEDS})")
     print(result.render())
+    if result.engine is not None:
+        print(
+            f"(matrix: {len(result.engine.results)} runs, "
+            f"mode={result.engine.mode}, jobs={result.engine.jobs}, "
+            f"wall={result.engine.wall_s:.2f}s -> BENCH_fig7.json)"
+        )
 
     rows = {row.fault_name: row for row in result.rows}
     mean_bb, mean_wb, mean_all = result.mean_ba()

@@ -3,10 +3,20 @@
 Regenerates the fault catalog and validates, per fault, that arming it
 against a live cluster produces the manifestation Table 2 describes.
 The benchmark times one full inject-and-manifest cycle across all six
-faults.
+faults, then runs the full monitored fault matrix through the parallel
+experiment runner (``ASDF_BENCH_JOBS`` workers) and drops its timings
+-- wall time, per-task wall/CPU, speedup vs serial when parallel -- in
+``BENCH_table2.json``.
 """
 
-from repro.experiments import table2
+from conftest import BENCH_JOBS, EVAL_CONFIG, emit_bench
+
+from repro.experiments import (
+    parity_mismatches,
+    run_tasks,
+    table2,
+    table2_matrix,
+)
 from repro.faults import FAULT_NAMES, FaultSpec, make_fault
 from repro.hadoop import ClusterConfig, HadoopCluster, JobSpec, MB
 
@@ -68,3 +78,45 @@ def test_table2_fault_catalog(benchmark):
         print(f"{row.fault_name:<12} {ok:<10} {row.reported_failure}")
         print(f"{'':<12} {'':<10} injected: {row.injected}")
     assert all(manifested.values()), manifested
+
+
+def test_table2_fault_matrix_runner(benchmark, eval_model):
+    """The monitored fault matrix through the parallel experiment runner.
+
+    Times the whole matrix at ``ASDF_BENCH_JOBS`` workers; when running
+    parallel, also executes the serial reference and asserts the results
+    are byte-identical (the engine's core guarantee) so the recorded
+    speedup compares equal work.
+    """
+    tasks = table2_matrix(EVAL_CONFIG, faults=FAULT_NAMES, trials=1)
+
+    serial = None
+    if BENCH_JOBS != 1:
+        serial = run_tasks(tasks, jobs=1, model=eval_model)
+
+    report = benchmark.pedantic(
+        lambda: run_tasks(tasks, jobs=BENCH_JOBS, model=eval_model),
+        rounds=1,
+        iterations=1,
+    )
+    if serial is not None:
+        report.serial_wall_s = serial.wall_s
+        assert parity_mismatches(serial, report) == []
+    path = emit_bench(report, "table2")
+
+    print(
+        f"\nTable 2 matrix: {len(tasks)} scenarios, mode={report.mode}, "
+        f"jobs={report.jobs}, wall={report.wall_s:.2f}s"
+    )
+    if report.speedup_vs_serial is not None:
+        print(
+            f"serial reference: {report.serial_wall_s:.2f}s "
+            f"-> speedup {report.speedup_vs_serial:.2f}x"
+        )
+    print(f"wrote {path}")
+
+    # Every fault in the matrix completed and scored.
+    assert len(report.results) == len(tasks)
+    for task_result in report.results:
+        loaded = task_result.load()
+        assert loaded.truth.faulty_node is not None

@@ -8,6 +8,9 @@ Everything the evaluation does, runnable from a terminal:
 * ``figure7``   -- the full per-fault accuracy/latency sweep;
 * ``overhead``  -- Tables 3 and 4;
 * ``table2``    -- the fault catalog;
+* ``bench``     -- the parallel experiment runner over a fault x trial
+                   matrix, emitting a ``BENCH_<name>.json`` timing file
+                   (optionally asserting parallel/serial parity);
 * ``config``    -- print the generated fpt-core configuration file
                    (the paper's Figure 3 at cluster scale);
 * ``telemetry`` -- run a monitored scenario with self-instrumentation on
@@ -35,17 +38,22 @@ import sys
 from typing import List, Optional
 
 from .experiments import (
+    ExperimentTask,
     ScenarioConfig,
     build_asdf_config_text,
     figure6,
     figure7,
     load_model,
     measure_overheads,
+    parity_mismatches,
     pick_knee,
     run_scenario,
+    run_tasks,
     save_model,
     shared_model,
     table2,
+    table2_matrix,
+    write_bench_json,
 )
 from .experiments.report import render_summary, render_timeline
 from .faults import FAULT_NAMES
@@ -67,6 +75,11 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--duration", type=float, default=900.0, help="run seconds")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--inject", type=float, default=300.0, help="fault time")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for scenario execution (0 = one per CPU; "
+        "results are identical at any worker count)",
+    )
 
 
 def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
@@ -140,9 +153,17 @@ def cmd_demo(args) -> int:
         f"{args.fault or 'no fault'}...",
         flush=True,
     )
-    result = run_scenario(
-        config, model=model, telemetry=telemetry, recorder=recorder
-    )
+    if args.jobs != 1 and telemetry is None and recorder is None:
+        # Telemetry and flight recording need the run in-process; plain
+        # demos may go through the experiment runner (same results).
+        report = run_tasks(
+            [ExperimentTask("demo", config)], jobs=args.jobs, model=model
+        )
+        result = report.results[0].load()
+    else:
+        result = run_scenario(
+            config, model=model, telemetry=telemetry, recorder=recorder
+        )
     print()
     print(render_summary(result))
     print()
@@ -171,7 +192,7 @@ def cmd_demo(args) -> int:
 def cmd_calibrate(args) -> int:
     config = _scenario_config(args, None)
     model = shared_model(config, training_duration_s=min(300.0, args.duration))
-    result = figure6(config, model=model)
+    result = figure6(config, model=model, jobs=args.jobs)
     print(result.render())
     print(
         "\nsuggested operating points: bb threshold "
@@ -184,7 +205,7 @@ def cmd_figure7(args) -> int:
     seeds = tuple(int(s) for s in args.seeds.split(","))
     config = _scenario_config(args, None)
     model = shared_model(config, training_duration_s=min(300.0, args.duration))
-    result = figure7(config, seeds=seeds, model=model)
+    result = figure7(config, seeds=seeds, model=model, jobs=args.jobs)
     print(result.render())
     return 0
 
@@ -196,6 +217,50 @@ def cmd_overhead(args) -> int:
     print("\nTable 4: RPC bandwidth per monitored node")
     print(report.table4_text())
     return 0
+
+
+def cmd_bench(args) -> int:
+    """Benchmark the experiment runner on a fault x trial matrix."""
+    faults = [f.strip() for f in args.faults.split(",") if f.strip()]
+    unknown = [f for f in faults if f not in FAULT_NAMES]
+    if unknown:
+        print(f"error: unknown fault(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    base = _scenario_config(args, None)
+    tasks = table2_matrix(base, faults=faults, trials=args.trials)
+    print(
+        f"bench matrix: {len(tasks)} tasks "
+        f"({len(faults)} fault(s) x {args.trials} trial(s))"
+    )
+    print(f"training shared black-box model ({args.slaves} slaves)...", flush=True)
+    model = shared_model(base, training_duration_s=min(300.0, args.duration))
+
+    serial = None
+    if args.check_parity or args.jobs == 1:
+        print("running serial reference (jobs=1)...", flush=True)
+        serial = run_tasks(tasks, jobs=1, model=model)
+        print(f"  serial wall: {serial.wall_s:.2f}s")
+
+    report = serial
+    if args.jobs != 1:
+        print(f"running with jobs={args.jobs}...", flush=True)
+        report = run_tasks(tasks, jobs=args.jobs, model=model)
+        print(f"  {report.mode} wall: {report.wall_s:.2f}s ({report.jobs} workers)")
+        if serial is not None:
+            report.serial_wall_s = serial.wall_s
+            print(f"  speedup vs serial: {report.speedup_vs_serial:.2f}x")
+
+    parity_ok = True
+    if serial is not None and report is not serial:
+        mismatches = parity_mismatches(serial, report)
+        parity_ok = not mismatches
+        print(
+            "parity vs serial: "
+            + ("IDENTICAL" if parity_ok else f"MISMATCH in {mismatches}")
+        )
+    path = write_bench_json(report, args.name, directory=args.out)
+    print(f"wrote {path}")
+    return 0 if parity_ok else 1
 
 
 def cmd_table2(args) -> int:
@@ -365,6 +430,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     catalog = commands.add_parser("table2", help="the fault catalog")
     catalog.set_defaults(handler=cmd_table2)
+
+    bench = commands.add_parser(
+        "bench",
+        help="run a fault x trial matrix through the parallel experiment "
+        "runner and write BENCH_<name>.json",
+    )
+    _add_scenario_args(bench)
+    bench.add_argument(
+        "--faults", default=",".join(FAULT_NAMES),
+        help="comma-separated Table 2 fault names",
+    )
+    bench.add_argument(
+        "--trials", type=int, default=1,
+        help="independent trials per fault (seeds derived from --seed)",
+    )
+    bench.add_argument(
+        "--check-parity", action="store_true",
+        help="also run serially and assert the parallel results are "
+        "byte-identical (exit 1 on mismatch)",
+    )
+    bench.add_argument(
+        "--name", default="table2", help="benchmark name (BENCH_<name>.json)"
+    )
+    bench.add_argument(
+        "--out", default=None,
+        help="output directory for the BENCH file "
+        "(default: $ASDF_BENCH_DIR or the working directory)",
+    )
+    bench.set_defaults(handler=cmd_bench)
 
     config = commands.add_parser(
         "config", help="print the generated fpt-core configuration file"

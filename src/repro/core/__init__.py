@@ -28,7 +28,7 @@ from .errors import ConfigError, FptError, ModuleError, SchedulerError
 from .fptcore import FptCore
 from .module import Module, ModuleContext, RunReason
 from .registry import ModuleRegistry
-from .scheduler import Scheduler
+from .scheduler import Scheduler, WriteHookChain
 
 __all__ = [
     "DEFAULT_QUEUE_CAPACITY",
@@ -54,6 +54,7 @@ __all__ = [
     "SchedulerError",
     "SimClock",
     "WallClock",
+    "WriteHookChain",
     "build_dag",
     "parse_config",
     "render_config",

@@ -190,13 +190,26 @@ class Output:
         return connection
 
     def write(self, value: Any, timestamp: float) -> None:
-        """Publish ``value`` at ``timestamp`` to all subscribers."""
+        """Publish ``value`` at ``timestamp`` to all subscribers.
+
+        This is the hottest call in the core (every collected metric
+        vector, classification and window statistic passes through it),
+        so the per-subscriber push is inlined rather than dispatched
+        through :meth:`Connection._push`, and hook-free writes return
+        without touching ``on_write`` at all.
+        """
         sample = Sample(timestamp=timestamp, value=value)
         self.total_written += 1
         for connection in self.subscribers:
-            connection._push(sample)
-        if self.on_write is not None:
-            self.on_write(self, sample)
+            queue = connection._queue
+            if len(queue) == queue.maxlen:
+                connection.total_dropped += 1
+            queue.append(sample)
+            connection.total_received += 1
+        hook = self.on_write
+        if hook is None:
+            return  # fast path: nothing to notify
+        hook(self, sample)
 
     def subscriber_depths(self) -> List[int]:
         """Current buffered-sample count of each subscriber queue."""

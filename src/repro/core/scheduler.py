@@ -37,6 +37,33 @@ from .module import Module, RunReason
 MAX_DRAIN_RUNS = 100_000
 
 
+class WriteHookChain:
+    """An explicit ``on_write`` hook chain: foreign hooks, then the core's.
+
+    The scheduler's trigger bookkeeping must fire exactly once per write
+    no matter how many probes (telemetry taps, test spies, recorders)
+    wrap the same output.  Closure-based chaining cannot be introspected
+    -- once a foreign framework replaces ``on_write``, a re-attach has no
+    way to tell whether the scheduler hook is still buried inside, so it
+    either silently stacks a second one or silently drops bookkeeping.
+    Keeping the hooks in a list makes membership checkable and lets
+    :meth:`Scheduler.attach_output` *rebuild* the chain instead.
+    """
+
+    __slots__ = ("hooks",)
+
+    #: Backwards-compatible marker: older probes (the flight recorder)
+    #: propagate this attribute when they wrap an existing hook.
+    _includes_scheduler_hook = True
+
+    def __init__(self, hooks) -> None:
+        self.hooks = list(hooks)
+
+    def __call__(self, output: Output, sample: Sample) -> None:
+        for hook in self.hooks:
+            hook(output, sample)
+
+
 class Scheduler:
     """Drives module execution against a :class:`Clock`."""
 
@@ -49,6 +76,14 @@ class Scheduler:
         self._instances: Dict[str, Module] = {}
         self._triggers: Dict[str, int] = {}
         self._update_counts: Dict[str, int] = {}
+        #: Resolved consumer -> trigger-threshold cache.  ``Output.write``
+        #: is the hottest call site in the core; recomputing
+        #: ``connection_count()`` (a sum over all input groups) per write
+        #: dominated scenario profiles.  Entries are filled lazily by
+        #: ``_on_output_write`` and invalidated whenever registration
+        #: state changes (``add_instance``, ``remove_instance``,
+        #: ``set_trigger``).
+        self._threshold_cache: Dict[str, int] = {}
         self._pending: deque = deque()
         self._pending_set: Set[str] = set()
         self._stopped = False
@@ -74,12 +109,16 @@ class Scheduler:
             raise SchedulerError(f"instance '{instance_id}' already registered")
         self._instances[instance_id] = module
         self._update_counts[instance_id] = 0
+        self._threshold_cache.pop(instance_id, None)
 
     def remove_instance(self, instance_id: str) -> None:
         """Detach an instance from scheduling (paper section 2.1).
 
         Pending heap entries for the instance are discarded lazily when
-        they surface; queued input-triggered runs are dropped now.
+        they surface; queued input-triggered runs are dropped now.  A
+        periodic instance may remove itself (or a peer) from inside its
+        own ``run()``: dropping the interval here also cancels the
+        re-arm that ``run_until`` would otherwise attempt.
         """
         if instance_id not in self._instances:
             raise SchedulerError(f"no such instance '{instance_id}'")
@@ -87,6 +126,7 @@ class Scheduler:
         self._update_counts.pop(instance_id, None)
         self._triggers.pop(instance_id, None)
         self._intervals.pop(instance_id, None)
+        self._threshold_cache.pop(instance_id, None)
         if instance_id in self._pending_set:
             self._pending_set.discard(instance_id)
             self._pending = deque(
@@ -104,32 +144,50 @@ class Scheduler:
 
     def set_trigger(self, instance_id: str, updates: int) -> None:
         self._triggers[instance_id] = updates
+        self._threshold_cache.pop(instance_id, None)
+
+    def _is_own_hook(self, hook) -> bool:
+        """True when ``hook`` is this scheduler's write hook.
+
+        Bound-method objects are created afresh on every attribute
+        access, so ``hook is self._on_output_write`` is always False;
+        the underlying function and receiver must be compared instead.
+        """
+        return (
+            getattr(hook, "__func__", None) is Scheduler._on_output_write
+            and getattr(hook, "__self__", None) is self
+        )
 
     def attach_output(self, output: Output) -> None:
         """Install the write hook that feeds input-trigger bookkeeping.
 
         If the output already carries a foreign ``on_write`` hook (a
         telemetry probe, a test spy), it is *chained*, not overwritten:
-        the existing hook fires first, then the scheduler's bookkeeping.
-        Attaching the same output twice is a no-op, so chains never
-        accumulate duplicate scheduler hooks.
+        the existing hooks fire first, then the scheduler's bookkeeping.
+        The chain is an explicit :class:`WriteHookChain`, so re-attaching
+        is detectable: attaching the same output twice is a no-op, and if
+        a foreign framework replaced ``on_write`` wholesale (discarding a
+        previous chain), the chain is *rebuilt* around the new hook
+        instead of silently stacking a second scheduler hook.
         """
         existing = output.on_write
-        if existing is self._on_output_write or getattr(
-            existing, "_includes_scheduler_hook", False
-        ):
-            return  # already attached; never double-register
         if existing is None:
             output.on_write = self._on_output_write
             return
-        scheduler_hook = self._on_output_write
-
-        def chained(out: Output, sample: Sample) -> None:
-            existing(out, sample)
-            scheduler_hook(out, sample)
-
-        chained._includes_scheduler_hook = True  # type: ignore[attr-defined]
-        output.on_write = chained
+        if self._is_own_hook(existing):
+            return
+        if isinstance(existing, WriteHookChain):
+            if any(self._is_own_hook(hook) for hook in existing.hooks):
+                return  # already attached; never double-register
+            # A chain built by another scheduler (or one whose scheduler
+            # hook was stripped): append ours, keep the foreign hooks.
+            existing.hooks.append(self._on_output_write)
+            return
+        if getattr(existing, "_includes_scheduler_hook", False):
+            # A foreign wrapper (e.g. the flight recorder's tap) chained
+            # itself around a hook that included our bookkeeping.
+            return
+        output.on_write = WriteHookChain([existing, self._on_output_write])
 
     # -- write notification ---------------------------------------------------
 
@@ -145,12 +203,20 @@ class Scheduler:
     def _on_output_write(self, output: Output, sample: Sample) -> None:
         if self.telemetry.enabled:
             self.telemetry.record_write(output)
+        update_counts = self._update_counts
+        thresholds = self._threshold_cache
+        instances = self._instances
         for connection in output.subscribers:
             consumer = connection.owner_instance
-            if consumer is None or consumer not in self._instances:
+            if consumer is None or consumer not in instances:
                 continue
-            self._update_counts[consumer] += 1
-            if self._update_counts[consumer] >= self._trigger_threshold(consumer):
+            count = update_counts[consumer] + 1
+            update_counts[consumer] = count
+            threshold = thresholds.get(consumer)
+            if threshold is None:
+                threshold = self._trigger_threshold(consumer)
+                thresholds[consumer] = threshold
+            if count >= threshold:
                 self._enqueue(consumer)
 
     def _enqueue(self, instance_id: str) -> None:
@@ -249,11 +315,15 @@ class Scheduler:
                 self.telemetry.record_periodic_lag(self.clock.now() - deadline)
             self._run_instance(instance_id, RunReason.PERIODIC)
             self._drain_input_triggered()
-            interval = self._intervals[instance_id]
-            heapq.heappush(
-                self._heap,
-                (deadline + interval, next(self._sequence), instance_id),
-            )
+            # The run (or anything it triggered) may have removed this
+            # very instance; re-arming then would resurrect it and the
+            # old lookup raised KeyError on the dropped interval.
+            interval = self._intervals.get(instance_id)
+            if interval is not None and instance_id in self._instances:
+                heapq.heappush(
+                    self._heap,
+                    (deadline + interval, next(self._sequence), instance_id),
+                )
             processed += 1
         if not self._stopped:
             self.clock.sleep_until(end_time)

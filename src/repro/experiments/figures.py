@@ -19,8 +19,10 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..faults import FAULT_CATALOG, FAULT_NAMES, make_fault
+from ..telemetry import Telemetry
 from .model import BlackBoxModel, train_blackbox_model
-from .scenario import ScenarioConfig, ScenarioResult, run_scenario
+from .runner import EngineReport, ExperimentTask, run_tasks
+from .scenario import ScenarioConfig
 from .sweep import blackbox_fp_sweep, whitebox_fp_sweep
 from ..hadoop.cluster import ClusterConfig
 
@@ -84,6 +86,9 @@ class Figure6Result:
 
     blackbox: List[Tuple[float, float]]   # (threshold, FP %)
     whitebox: List[Tuple[float, float]]   # (k, FP %)
+    #: Execution accounting of the underlying scenario run(s), for the
+    #: benchmark harness's ``BENCH_*`` trajectory files.
+    engine: Optional[EngineReport] = field(default=None, repr=False)
 
     def render(self) -> str:
         lines = ["Figure 6(a): black-box false-positive rate vs threshold"]
@@ -98,14 +103,28 @@ def figure6(
     thresholds: Sequence[float] = tuple(range(0, 75, 5)),
     ks: Sequence[float] = (0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0),
     model: Optional[BlackBoxModel] = None,
+    jobs: int = 1,
+    telemetry: Optional[Telemetry] = None,
 ) -> Figure6Result:
-    """Threshold sweeps on a problem-free run (paper section 4.9)."""
+    """Threshold sweeps on a problem-free run (paper section 4.9).
+
+    Both sweeps re-score the *same* captured fault-free statistics, so
+    there is exactly one scenario to run; it goes through the experiment
+    runner (``jobs`` workers) so the benchmark harness gets uniform
+    per-task timing accounting.
+    """
     if config is None:
         config = ScenarioConfig()
     config = ScenarioConfig(**{**config.__dict__, "fault_name": None})
     if model is None:
         model = shared_model(config)
-    result = run_scenario(config, model=model)
+    report = run_tasks(
+        [ExperimentTask("fault-free", config)],
+        jobs=jobs,
+        model=model,
+        telemetry=telemetry,
+    )
+    result = report.results[0].load()
     return Figure6Result(
         blackbox=blackbox_fp_sweep(
             result.stats_bb, thresholds, consecutive=config.bb_consecutive
@@ -113,6 +132,7 @@ def figure6(
         whitebox=whitebox_fp_sweep(
             result.stats_wb, ks, consecutive=config.wb_consecutive
         ),
+        engine=report,
     )
 
 
@@ -152,6 +172,8 @@ class Figure7Row:
 @dataclass
 class Figure7Result:
     rows: List[Figure7Row] = field(default_factory=list)
+    #: Execution accounting of the fault x seed matrix, for ``BENCH_*``.
+    engine: Optional[EngineReport] = field(default=None, repr=False)
 
     def mean_ba(self) -> Tuple[float, float, float]:
         n = max(1, len(self.rows))
@@ -186,26 +208,39 @@ def figure7(
     fault_names: Sequence[str] = FAULT_NAMES,
     seeds: Sequence[int] = (7,),
     model: Optional[BlackBoxModel] = None,
+    jobs: int = 1,
+    telemetry: Optional[Telemetry] = None,
 ) -> Figure7Result:
     """Run every fault scenario and aggregate BA + latency per fault.
 
     Multiple ``seeds`` average over independent runs (the paper ran
-    three iterations per configuration).
+    three iterations per configuration).  The fault x seed matrix fans
+    out across ``jobs`` worker processes via the experiment runner; the
+    per-fault aggregation is identical either way because workers return
+    the exact result documents a serial run produces.
     """
     if config is None:
         config = ScenarioConfig()
     if model is None:
         model = shared_model(config)
-    rows = []
+    tasks = []
     for fault_name in fault_names:
         if fault_name not in FAULT_CATALOG:
             raise KeyError(f"unknown fault {fault_name!r}")
-        results: List[ScenarioResult] = []
         for seed in seeds:
             run_config = ScenarioConfig(
                 **{**config.__dict__, "fault_name": fault_name, "seed": seed}
             )
-            results.append(run_scenario(run_config, model=model))
+            tasks.append(ExperimentTask(f"{fault_name}/seed{seed}", run_config))
+    report = run_tasks(tasks, jobs=jobs, model=model, telemetry=telemetry)
+    by_fault: dict = {}
+    for task_result in report.results:
+        by_fault.setdefault(task_result.task.config.fault_name, []).append(
+            task_result.load()
+        )
+    rows = []
+    for fault_name in fault_names:
+        results = by_fault[fault_name]
         rows.append(
             Figure7Row(
                 fault_name=fault_name,
@@ -221,4 +256,4 @@ def figure7(
                 runs=len(results),
             )
         )
-    return Figure7Result(rows=rows)
+    return Figure7Result(rows=rows, engine=report)

@@ -15,11 +15,18 @@ from __future__ import annotations
 import json
 from dataclasses import asdict
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
-from ..analysis.metrics import Alarm, GroundTruth, WindowDecision
+from ..analysis.metrics import (
+    Alarm,
+    ConfusionCounts,
+    GroundTruth,
+    WindowDecision,
+    fingerpointing_latency,
+    score_decisions,
+)
 from .scenario import ScenarioConfig
 
 
@@ -42,9 +49,15 @@ def _load_alarm(obj: Dict[str, Any]) -> Alarm:
     return Alarm(**data)
 
 
-def save_result(result, path: Union[str, Path]) -> Path:
-    """Write a :class:`ScenarioResult`'s data to ``path`` as JSON."""
-    payload = {
+def result_payload(result) -> Dict[str, Any]:
+    """A :class:`ScenarioResult` as a plain-data JSON document.
+
+    This is both the on-disk format of :func:`save_result` and the wire
+    format the parallel experiment runner's workers return, so one
+    scenario run serializes identically whether it is being archived or
+    shipped back from a process pool.
+    """
+    return {
         "format": "asdf-scenario-result/1",
         "config": asdict(result.config),
         "truth": asdict(result.truth),
@@ -70,8 +83,12 @@ def save_result(result, path: Union[str, Path]) -> Path:
             "whitebox": _jsonable(result.stats_wb),
         },
     }
+
+
+def save_result(result, path: Union[str, Path]) -> Path:
+    """Write a :class:`ScenarioResult`'s data to ``path`` as JSON."""
     path = Path(path)
-    path.write_text(json.dumps(payload))
+    path.write_text(json.dumps(result_payload(result)))
     return path
 
 
@@ -79,7 +96,9 @@ class LoadedResult:
     """A reloaded scenario result: the sweep-relevant subset.
 
     Exposes the same attribute names the live :class:`ScenarioResult`
-    uses, so sweep and scoring code accepts either.
+    uses -- including the derived scores (``counts_*``, ``latency_*``),
+    computed lazily from the reloaded decisions and ground truth -- so
+    sweep, scoring, aggregation and report code accepts either.
     """
 
     def __init__(self, payload: Dict[str, Any]) -> None:
@@ -104,6 +123,48 @@ class LoadedResult:
         ]
         self.stats_bb: List[dict] = payload["stats"]["blackbox"]
         self.stats_wb: List[dict] = payload["stats"]["whitebox"]
+        self._scores: Dict[str, Any] = {}
+
+    def _score(self, key: str, compute) -> Any:
+        if key not in self._scores:
+            self._scores[key] = compute()
+        return self._scores[key]
+
+    @property
+    def counts_bb(self) -> ConfusionCounts:
+        return self._score(
+            "counts_bb", lambda: score_decisions(self.decisions_bb, self.truth)
+        )
+
+    @property
+    def counts_wb(self) -> ConfusionCounts:
+        return self._score(
+            "counts_wb", lambda: score_decisions(self.decisions_wb, self.truth)
+        )
+
+    @property
+    def counts_all(self) -> ConfusionCounts:
+        return self._score(
+            "counts_all", lambda: score_decisions(self.decisions_all, self.truth)
+        )
+
+    @property
+    def latency_bb(self) -> Optional[float]:
+        return self._score(
+            "latency_bb", lambda: fingerpointing_latency(self.alarms_bb, self.truth)
+        )
+
+    @property
+    def latency_wb(self) -> Optional[float]:
+        return self._score(
+            "latency_wb", lambda: fingerpointing_latency(self.alarms_wb, self.truth)
+        )
+
+    @property
+    def latency_all(self) -> Optional[float]:
+        return self._score(
+            "latency_all", lambda: fingerpointing_latency(self.alarms_all, self.truth)
+        )
 
 
 def load_result(path: Union[str, Path]) -> LoadedResult:

@@ -10,7 +10,7 @@ least 3 consecutive windows to gain confidence in our detection").
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,6 +20,14 @@ class TimedWindow:
 
     Emits ``(start_time, end_time, matrix)`` for every completed window,
     where ``matrix`` has shape (size, n_metrics).
+
+    Samples are stored in one contiguous ``(capacity, n_metrics)`` array
+    (sized on the first push, when the metric width is known) instead of
+    a Python list of per-sample vectors: appending is a row assignment,
+    sliding is pointer arithmetic, and a completed window is a single
+    contiguous slice copy.  The old list-based implementation rebuilt a
+    fresh matrix with ``np.array(values[:size])`` for every emission,
+    which dominated the analysis modules' per-sample cost.
     """
 
     def __init__(self, size: int, slide: int) -> None:
@@ -27,18 +35,44 @@ class TimedWindow:
             raise ValueError(f"bad window geometry: size={size}, slide={slide}")
         self.size = size
         self.slide = slide
-        self._times: List[float] = []
-        self._values: List[np.ndarray] = []
+        self._times: Optional[np.ndarray] = None   # (capacity,)
+        self._buffer: Optional[np.ndarray] = None  # (capacity, n_metrics)
+        self._start = 0
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
 
     def push(self, timestamp: float, value) -> List[Tuple[float, float, np.ndarray]]:
-        self._times.append(float(timestamp))
-        self._values.append(np.atleast_1d(np.asarray(value, dtype=float)))
+        row = np.atleast_1d(np.asarray(value, dtype=float))
+        buffer = self._buffer
+        if buffer is None:
+            # First sample fixes the metric width; capacity 2x the window
+            # keeps the compaction memmove rare (at most every `size`
+            # pushes) without unbounded growth.
+            capacity = 2 * self.size
+            buffer = self._buffer = np.empty((capacity, row.shape[0]), dtype=float)
+            self._times = np.empty(capacity, dtype=float)
+        times = self._times
+        end = self._start + self._count
+        if end == buffer.shape[0]:
+            # Compact the live region back to the front.
+            buffer[: self._count] = buffer[self._start : end]
+            times[: self._count] = times[self._start : end]
+            self._start = 0
+            end = self._count
+        buffer[end] = row
+        times[end] = float(timestamp)
+        self._count += 1
         completed = []
-        while len(self._values) >= self.size:
-            matrix = np.array(self._values[: self.size])
-            completed.append((self._times[0], self._times[self.size - 1], matrix))
-            del self._times[: self.slide]
-            del self._values[: self.slide]
+        while self._count >= self.size:
+            start = self._start
+            matrix = buffer[start : start + self.size].copy()
+            completed.append(
+                (float(times[start]), float(times[start + self.size - 1]), matrix)
+            )
+            self._start += self.slide
+            self._count -= self.slide
         return completed
 
 

@@ -30,7 +30,7 @@ import numpy as np
 
 from ..core import Module, RunReason
 from ..core.errors import ConfigError
-from ..analysis.kmeans import nearest_k
+from ..analysis.kmeans import nearest_k, nearest_k_batch
 
 
 class KnnModule(Module):
@@ -63,9 +63,33 @@ class KnnModule(Module):
         ctx.trigger_after_updates(1)
 
     def run(self, reason: RunReason) -> None:
-        for sample in self.connection.pop_all():
-            raw = np.asarray(sample.value, dtype=float)
+        samples = self.connection.pop_all()
+        if not samples:
+            return
+        # Batch the math over the whole backlog: one scale + one distance
+        # matrix instead of a Python loop of per-sample numpy calls.  The
+        # outputs are still written sample by sample so downstream
+        # trigger counting is unchanged.  Ragged input (a malformed
+        # producer mixing vector lengths) falls back to the per-sample
+        # path, which classifies what it can and fails where it did
+        # before.
+        try:
+            raw = np.array([s.value for s in samples], dtype=float)
+        except ValueError:
+            raw = None
+        if raw is not None and raw.ndim == 2 and raw.shape[1] == self.sigma.shape[0]:
             scaled = np.log1p(np.maximum(raw, 0.0)) / self.sigma
+            order = nearest_k_batch(scaled, self.centroids, self.k)
+            k = self.k
+            out_write = self.out.write
+            for sample, indices in zip(samples, order):
+                value = int(indices[0]) if k == 1 else [int(i) for i in indices]
+                out_write(value, sample.timestamp)
+            self.samples_classified += len(samples)
+            return
+        for sample in samples:
+            raw_one = np.asarray(sample.value, dtype=float)
+            scaled = np.log1p(np.maximum(raw_one, 0.0)) / self.sigma
             indices = nearest_k(scaled, self.centroids, self.k)
             value = int(indices[0]) if self.k == 1 else [int(i) for i in indices]
             self.out.write(value, sample.timestamp)

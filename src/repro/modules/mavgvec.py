@@ -46,9 +46,15 @@ class MavgVecModule(Module):
         samples = self.group.pop_latest_vector()
         if any(sample is None for sample in samples):
             return
-        parts = [np.atleast_1d(np.asarray(s.value, dtype=float)) for s in samples]
-        vector = np.concatenate(parts)
-        timestamp = max(sample.timestamp for sample in samples)
+        if len(samples) == 1:
+            # Single wired connection (the common deployment): skip the
+            # stack-and-concatenate round trip.
+            vector = np.atleast_1d(np.asarray(samples[0].value, dtype=float))
+            timestamp = samples[0].timestamp
+        else:
+            parts = [np.atleast_1d(np.asarray(s.value, dtype=float)) for s in samples]
+            vector = np.concatenate(parts)
+            timestamp = max(sample.timestamp for sample in samples)
         for _, end_time, matrix in self._window.push(timestamp, vector):
             self.mean_out.write(matrix.mean(axis=0), end_time)
             self.var_out.write(matrix.var(axis=0), end_time)

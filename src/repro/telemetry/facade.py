@@ -26,6 +26,9 @@ family                                    type       labels
 ``fpt_output_skipped_total``              gauge      ``output``
 ``asdf_rpc_wire_bytes_total``             counter    ``service``, ``direction``
 ``asdf_rpc_messages_total``               counter    ``service``, ``direction``
+``asdf_experiment_task_wall_seconds``     histogram  --
+``asdf_experiment_task_cpu_seconds``      histogram  --
+``asdf_experiment_tasks_total``           counter    ``worker``
 ========================================  =========  =============================
 
 The flight recorder (:mod:`repro.flightrec`) registers its own gauge
@@ -51,6 +54,10 @@ QUEUE_DEPTH_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 1000.0, 10000.0)
 #: Periodic lag: 0 under a simulated clock, scheduler jitter under a wall
 #: clock.  Sub-millisecond buckets catch the interesting range.
 LAG_BUCKETS_S = (1e-6, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+#: Experiment-runner tasks run whole scenarios: sub-second smoke configs
+#: up through multi-minute evaluation runs.
+TASK_SECONDS_BUCKETS = (0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0)
 
 
 class RunStats:
@@ -79,6 +86,8 @@ class Telemetry:
         self._rpc_cache: Dict[str, tuple] = {}
         self._drain_hist: Optional[Histogram] = None
         self._lag_hist: Optional[Histogram] = None
+        self._task_metrics: Optional[tuple] = None
+        self._task_worker_cache: Dict[str, object] = {}
 
     # -- scheduler hooks -----------------------------------------------------
 
@@ -180,6 +189,45 @@ class Telemetry:
             depth.set_max(max(len(c) for c in subscribers))
             dropped.set(sum(c.total_dropped for c in subscribers))
             skipped.set(sum(c.total_skipped for c in subscribers))
+
+    # -- experiment-runner hooks ---------------------------------------------
+
+    def record_task(
+        self, task_id: str, wall_s: float, cpu_s: float, worker: str = ""
+    ) -> None:
+        """Account one experiment-runner task: wall + CPU seconds per run.
+
+        ``worker`` labels the per-worker task counter (bounded by the
+        pool size), so a skewed process pool shows up as a skewed
+        ``asdf_experiment_tasks_total`` distribution.
+        """
+        metrics = self._task_metrics
+        if metrics is None:
+            metrics = (
+                self.metrics.histogram(
+                    "asdf_experiment_task_wall_seconds",
+                    "Wall seconds per experiment-runner task.",
+                    buckets=TASK_SECONDS_BUCKETS,
+                ),
+                self.metrics.histogram(
+                    "asdf_experiment_task_cpu_seconds",
+                    "CPU seconds per experiment-runner task.",
+                    buckets=TASK_SECONDS_BUCKETS,
+                ),
+            )
+            self._task_metrics = metrics
+        wall_hist, cpu_hist = metrics
+        wall_hist.observe(wall_s)
+        cpu_hist.observe(cpu_s)
+        counter = self._task_worker_cache.get(worker)
+        if counter is None:
+            counter = self.metrics.counter(
+                "asdf_experiment_tasks_total",
+                "Experiment-runner tasks executed, by worker.",
+                {"worker": worker or "in-process"},
+            )
+            self._task_worker_cache[worker] = counter
+        counter.inc()
 
     # -- rpc hooks -----------------------------------------------------------
 

@@ -1,0 +1,243 @@
+"""Tests for the parallel experiment engine (`repro.experiments.runner`).
+
+The engine's core guarantee: a matrix run at any worker count produces
+*byte-identical* result documents to a serial run -- deterministic
+per-task seeds, a parent-trained model shipped to workers, and one
+shared execution path make that possible.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ExperimentTask,
+    ModelCache,
+    ScenarioConfig,
+    derive_seed,
+    parity_mismatches,
+    run_tasks,
+    scenario_matrix,
+    shared_model,
+    table2_matrix,
+    training_signature,
+    write_bench_json,
+)
+from repro.experiments import runner as runner_mod
+from repro.faults import FAULT_NAMES
+from repro.telemetry import Telemetry
+
+#: Small-but-real scenario: large enough to produce alarms/decisions,
+#: small enough that a matrix of them stays in test-suite budget.
+MINI = ScenarioConfig(num_slaves=3, duration_s=120.0, seed=11, inject_time=40.0)
+
+
+@pytest.fixture(scope="module")
+def mini_model():
+    return shared_model(MINI, training_duration_s=120.0)
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_31_bit(self):
+        a = derive_seed(42, "CPUHog", 0)
+        assert a == derive_seed(42, "CPUHog", 0)
+        assert 0 <= a < 2**31
+
+    def test_distinct_coordinates_distinct_seeds(self):
+        seeds = {
+            derive_seed(42, fault, trial)
+            for fault in FAULT_NAMES
+            for trial in range(10)
+        }
+        assert len(seeds) == len(FAULT_NAMES) * 10
+
+    def test_base_seed_changes_everything(self):
+        assert derive_seed(1, "x", 0) != derive_seed(2, "x", 0)
+
+
+class TestMatrices:
+    def test_table2_matrix_shape(self):
+        tasks = table2_matrix(MINI, faults=("CPUHog", "DiskHog"), trials=3)
+        assert [t.task_id for t in tasks] == [
+            "CPUHog/t0", "CPUHog/t1", "CPUHog/t2",
+            "DiskHog/t0", "DiskHog/t1", "DiskHog/t2",
+        ]
+        assert all(t.config.fault_name in ("CPUHog", "DiskHog") for t in tasks)
+        assert len({t.config.seed for t in tasks}) == len(tasks)
+        # Everything except fault/seed inherited from the base config.
+        assert all(t.config.num_slaves == MINI.num_slaves for t in tasks)
+
+    def test_sweep_axis_multiplies_matrix(self):
+        tasks = scenario_matrix(
+            MINI,
+            faults=("CPUHog",),
+            trials=2,
+            sweep=("bb_threshold", [40.0, 65.0]),
+        )
+        assert [t.task_id for t in tasks] == [
+            "CPUHog/t0/bb_threshold=40.0",
+            "CPUHog/t0/bb_threshold=65.0",
+            "CPUHog/t1/bb_threshold=40.0",
+            "CPUHog/t1/bb_threshold=65.0",
+        ]
+        assert {t.config.bb_threshold for t in tasks} == {40.0, 65.0}
+
+    def test_fault_free_axis(self):
+        (task,) = scenario_matrix(MINI, faults=(None,))
+        assert task.task_id == "fault-free/t0"
+        assert task.config.fault_name is None
+
+    def test_bad_trials_rejected(self):
+        with pytest.raises(ValueError, match="trials"):
+            scenario_matrix(MINI, trials=0)
+
+    def test_matrix_is_reproducible(self):
+        first = table2_matrix(MINI, faults=FAULT_NAMES, trials=2)
+        second = table2_matrix(MINI, faults=FAULT_NAMES, trials=2)
+        assert [t.config for t in first] == [t.config for t in second]
+
+
+class TestModelCache:
+    def test_trains_once_per_signature(self, monkeypatch):
+        calls = []
+
+        class FakeModel:
+            centroids = None
+            sigma = None
+
+        def fake_train(**kwargs):
+            calls.append(kwargs)
+            return FakeModel()
+
+        monkeypatch.setattr(runner_mod, "train_blackbox_model", fake_train)
+        cache = ModelCache()
+        same_a = ScenarioConfig(num_slaves=3, duration_s=120.0, seed=5)
+        same_b = ScenarioConfig(
+            num_slaves=3, duration_s=120.0, seed=5, fault_name="CPUHog"
+        )
+        other = ScenarioConfig(num_slaves=3, duration_s=120.0, seed=6)
+        key_a, model_a = cache.get(same_a)
+        key_b, model_b = cache.get(same_b)
+        key_c, _ = cache.get(other)
+        assert key_a == key_b and model_a is model_b
+        assert key_c != key_a
+        assert cache.trainings == len(calls) == 2
+
+    def test_signature_tracks_training_inputs(self):
+        base = ScenarioConfig(num_slaves=3, duration_s=120.0, seed=5)
+        assert training_signature(base) == training_signature(
+            ScenarioConfig(num_slaves=3, duration_s=120.0, seed=5,
+                           fault_name="DiskHog", inject_time=10.0)
+        )
+        assert training_signature(base) != training_signature(
+            ScenarioConfig(num_slaves=4, duration_s=120.0, seed=5)
+        )
+        assert training_signature(base) != training_signature(
+            base, training_duration_s=60.0
+        )
+
+
+class TestSerialParallelParity:
+    def test_jobs_4_byte_identical_to_serial(self, mini_model):
+        """The acceptance bar: a table2 mini-matrix at jobs=4 returns
+        result documents byte-identical to jobs=1."""
+        tasks = table2_matrix(MINI, faults=("CPUHog", "DiskHog"), trials=1)
+        serial = run_tasks(tasks, jobs=1, model=mini_model)
+        parallel = run_tasks(tasks, jobs=4, model=mini_model)
+        assert serial.mode == "serial"
+        assert parallel.mode in ("process-pool", "serial-fallback")
+        assert parity_mismatches(serial, parallel) == []
+        for a, b in zip(serial.results, parallel.results):
+            assert a.task.task_id == b.task.task_id
+            assert a.canonical_json() == b.canonical_json()
+
+    def test_results_preserve_submission_order(self, mini_model):
+        tasks = table2_matrix(MINI, faults=("CPUHog", "DiskHog"), trials=1)
+        report = run_tasks(tasks, jobs=2, model=mini_model)
+        assert [r.task.task_id for r in report.results] == [
+            t.task_id for t in tasks
+        ]
+
+    def test_loaded_results_expose_scores(self, mini_model):
+        (task,) = table2_matrix(MINI, faults=("CPUHog",), trials=1)
+        report = run_tasks([task], jobs=1, model=mini_model)
+        loaded = report.results[0].load()
+        assert loaded.truth.faulty_node is not None
+        assert 0.0 <= loaded.counts_bb.balanced_accuracy <= 1.0
+        assert loaded.counts_all.true_negatives >= 0
+        # load() is cached: same object back.
+        assert report.results[0].load() is loaded
+
+    def test_parity_mismatches_detects_differences(self, mini_model):
+        (task,) = table2_matrix(MINI, faults=("CPUHog",), trials=1)
+        a = run_tasks([task], jobs=1, model=mini_model)
+        b = run_tasks([task], jobs=1, model=mini_model)
+        assert parity_mismatches(a, b) == []
+        b.results[0].payload["jobs_completed"] += 1
+        assert parity_mismatches(a, b) == ["CPUHog/t0"]
+
+
+class TestSerialFallback:
+    def test_pool_failure_falls_back_with_identical_results(
+        self, mini_model, monkeypatch
+    ):
+        tasks = table2_matrix(MINI, faults=("CPUHog",), trials=1)
+        serial = run_tasks(tasks, jobs=1, model=mini_model)
+
+        def broken_pool(items, jobs, models_json):
+            raise OSError("no process spawning here")
+
+        monkeypatch.setattr(runner_mod, "_pool_results", broken_pool)
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            fallback = run_tasks(tasks, jobs=4, model=mini_model)
+        assert fallback.mode == "serial-fallback"
+        assert parity_mismatches(serial, fallback) == []
+
+    def test_jobs_zero_means_cpu_count(self, mini_model):
+        (task,) = table2_matrix(MINI, faults=("CPUHog",), trials=1)
+        report = run_tasks([task], jobs=0, model=mini_model)
+        assert report.jobs >= 1
+
+
+class TestTimingsAndBench:
+    def test_per_task_timings_recorded(self, mini_model):
+        tasks = table2_matrix(MINI, faults=("CPUHog", "DiskHog"), trials=1)
+        telemetry = Telemetry()
+        report = run_tasks(tasks, jobs=1, model=mini_model, telemetry=telemetry)
+        assert all(r.wall_s > 0 for r in report.results)
+        assert all(r.cpu_s >= 0 for r in report.results)
+        assert all(r.worker.startswith("pid:") for r in report.results)
+        assert report.task_wall_s > 0 and report.cpu_s >= 0
+        assert telemetry.metrics.total("asdf_experiment_tasks_total") == len(tasks)
+
+    def test_bench_json_contents_and_dir_override(
+        self, mini_model, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("ASDF_BENCH_DIR", str(tmp_path / "env-dir"))
+        (task,) = table2_matrix(MINI, faults=("CPUHog",), trials=1)
+        report = run_tasks([task], jobs=1, model=mini_model)
+        report.serial_wall_s = 2 * report.wall_s
+
+        env_path = write_bench_json(report, "envtest")
+        assert env_path.parent == tmp_path / "env-dir"
+        explicit_path = write_bench_json(
+            report, "unit", directory=tmp_path, extra={"note": "x"}
+        )
+        assert explicit_path == tmp_path / "BENCH_unit.json"
+
+        payload = json.loads(explicit_path.read_text())
+        assert payload["format"] == "asdf-bench/1"
+        assert payload["name"] == "unit"
+        assert payload["jobs"] == 1 and payload["mode"] == "serial"
+        assert payload["wall_s"] > 0
+        assert payload["tasks"][0]["task_id"] == "CPUHog/t0"
+        assert payload["speedup_vs_serial"] == pytest.approx(2.0, abs=0.01)
+        assert payload["extra"] == {"note": "x"}
+
+    def test_report_lookup(self, mini_model):
+        (task,) = table2_matrix(MINI, faults=("CPUHog",), trials=1)
+        report = run_tasks([task], jobs=1, model=mini_model)
+        assert report.result("CPUHog/t0") is report.results[0]
+        with pytest.raises(KeyError):
+            report.result("nope")
+        assert report.speedup_vs_serial is None
