@@ -34,6 +34,16 @@ CONFIG = ScenarioConfig(
 FAULTY = "slave04"
 
 
+def build_config_text(nodes, config) -> str:
+    """The standard evaluation deployment, plus the mitigation responder
+    hanging off the combined alarm stream.  Module-level so ``repro
+    lint`` golden tests can check it without running the example."""
+    return build_asdf_config_text(nodes, config) + (
+        "\n[mitigate]\nid = responder\n"
+        "input[a] = combined.alarms\nmin_alarms = 1\n"
+    )
+
+
 def main() -> None:
     print("training black-box model...")
     model = shared_model(CONFIG, training_duration_s=240.0)
@@ -63,14 +73,11 @@ def main() -> None:
         "mitigation_controller": controller,
     }
 
-    # The standard evaluation deployment, plus the mitigation responder
-    # hanging off the combined alarm stream.
-    config_text = build_asdf_config_text(nodes, CONFIG) + (
-        "\n[mitigate]\nid = responder\n"
-        "input[a] = combined.alarms\nmin_alarms = 1\n"
-    )
     core = FptCore.from_config(
-        config_text, standard_registry(), SimClock(), services=services
+        build_config_text(nodes, CONFIG),
+        standard_registry(),
+        SimClock(),
+        services=services,
     )
 
     print(

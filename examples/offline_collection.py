@@ -27,19 +27,12 @@ from repro.workloads import GridMixConfig, generate_workload
 DURATION = 240.0
 
 
-def main() -> None:
-    cluster = HadoopCluster(ClusterConfig(num_slaves=3, seed=2))
-    for spec in generate_workload(GridMixConfig(duration_s=DURATION, seed=9)).jobs:
-        cluster.schedule_job(spec)
-
-    channels = {
-        node: InprocChannel(SadcDaemon(node, cluster.procfs(node)), f"sadc@{node}")
-        for node in cluster.slave_names
-    }
-
-    csv_path = Path(tempfile.gettempdir()) / "asdf-offline.csv"
+def build_config_text(nodes, csv_path) -> str:
+    """The collection-only wiring: sadc per node straight into the CSV
+    sink, no analysis modules.  Module-level so ``repro lint`` golden
+    tests can check it without running the example."""
     config_lines = []
-    for node in cluster.slave_names:
+    for node in nodes:
         config_lines += [
             "[sadc]",
             f"id = sadc_{node}",
@@ -52,12 +45,23 @@ def main() -> None:
         "id = logger",
         f"path = {csv_path}",
     ]
-    config_lines += [
-        f"input[{node}] = @sadc_{node}" for node in cluster.slave_names
-    ]
+    config_lines += [f"input[{node}] = @sadc_{node}" for node in nodes]
+    return "\n".join(config_lines) + "\n"
 
+
+def main() -> None:
+    cluster = HadoopCluster(ClusterConfig(num_slaves=3, seed=2))
+    for spec in generate_workload(GridMixConfig(duration_s=DURATION, seed=9)).jobs:
+        cluster.schedule_job(spec)
+
+    channels = {
+        node: InprocChannel(SadcDaemon(node, cluster.procfs(node)), f"sadc@{node}")
+        for node in cluster.slave_names
+    }
+
+    csv_path = Path(tempfile.gettempdir()) / "asdf-offline.csv"
     core = FptCore.from_config(
-        "\n".join(config_lines) + "\n",
+        build_config_text(cluster.slave_names, csv_path),
         standard_registry(),
         SimClock(),
         services={SADC_CHANNEL_SERVICE: channels},

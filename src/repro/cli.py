@@ -13,6 +13,10 @@ Everything the evaluation does, runnable from a terminal:
                    (optionally asserting parallel/serial parity);
 * ``config``    -- print the generated fpt-core configuration file
                    (the paper's Figure 3 at cluster scale);
+* ``lint``      -- static analysis: check configuration files (or the
+                   generated one) against the module contracts, verify
+                   module implementations match their declarations, and
+                   scan scenario code paths for determinism hazards;
 * ``telemetry`` -- run a monitored scenario with self-instrumentation on
                    and print the summary (per-instance run latencies,
                    queue stats, RPC bytes, the alarm audit trail);
@@ -37,6 +41,7 @@ import os
 import sys
 from typing import List, Optional
 
+from .core.errors import ConfigError
 from .experiments import (
     ExperimentTask,
     ScenarioConfig,
@@ -258,6 +263,11 @@ def cmd_bench(args) -> int:
             "parity vs serial: "
             + ("IDENTICAL" if parity_ok else f"MISMATCH in {mismatches}")
         )
+        if not parity_ok:
+            from .lint import determinism_hints
+
+            _findings, hint_text = determinism_hints(mismatches)
+            print(hint_text, file=sys.stderr)
     path = write_bench_json(report, args.name, directory=args.out)
     print(f"wrote {path}")
     return 0 if parity_ok else 1
@@ -273,6 +283,63 @@ def cmd_table2(args) -> int:
 def cmd_config(args) -> int:
     nodes = [f"slave{i + 1:02d}" for i in range(args.slaves)]
     print(build_asdf_config_text(nodes, _scenario_config(args, None)))
+    return 0
+
+
+def cmd_lint(args) -> int:
+    """Static analysis: configs, module contracts, determinism.
+
+    Exit codes: 0 clean (warnings allowed unless ``--strict``), 1 when
+    any error-severity diagnostic fires, 2 on usage or I/O problems.
+    """
+    from .lint import (
+        analyze_config,
+        check_registry,
+        has_errors,
+        lint_determinism,
+        render_json,
+        render_text,
+    )
+    from .lint.diagnostics import Severity
+
+    diagnostics = []
+    # Nothing selected: lint everything (the generated config, every
+    # registered module implementation, and the scenario code paths).
+    lint_all = not args.configs and not (
+        args.generated or args.impl or args.determinism
+    )
+
+    for path in args.configs:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as error:
+            print(f"error: cannot read {path}: {error}", file=sys.stderr)
+            return 2
+        diagnostics.extend(analyze_config(text, file=path))
+
+    if args.generated or lint_all:
+        nodes = [f"slave{i + 1:02d}" for i in range(args.slaves)]
+        text = build_asdf_config_text(nodes, _scenario_config(args, None))
+        diagnostics.extend(analyze_config(text, file="<generated>"))
+
+    if args.impl or lint_all:
+        diagnostics.extend(check_registry())
+
+    if args.determinism or lint_all:
+        diagnostics.extend(lint_determinism())
+
+    if args.json:
+        print(render_json(diagnostics))
+    else:
+        print(render_text(diagnostics))
+
+    if has_errors(diagnostics):
+        return 1
+    if args.strict and any(
+        d.severity is Severity.WARNING for d in diagnostics
+    ):
+        return 1
     return 0
 
 
@@ -466,6 +533,38 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_args(config)
     config.set_defaults(handler=cmd_config)
 
+    lint = commands.add_parser(
+        "lint",
+        help="static analysis: configs vs module contracts, contract vs "
+        "implementation, determinism hazards",
+    )
+    _add_scenario_args(lint)
+    lint.add_argument(
+        "configs", nargs="*", metavar="CONFIG",
+        help="fpt-core configuration file(s) to check; with no file and "
+        "no selection flag, everything is linted",
+    )
+    lint.add_argument(
+        "--generated", action="store_true",
+        help="lint the generated deployment config (respects --slaves)",
+    )
+    lint.add_argument(
+        "--impl", action="store_true",
+        help="check registered module implementations against contracts",
+    )
+    lint.add_argument(
+        "--determinism", action="store_true",
+        help="scan scenario code paths for wall-clock/unseeded-random use",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit diagnostics as JSON"
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero on warnings too, not only errors",
+    )
+    lint.set_defaults(handler=cmd_lint)
+
     incident = commands.add_parser(
         "incident", help="inspect a recorded run's incident bundles"
     )
@@ -496,7 +595,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ConfigError as error:
+        # Bad configuration input, not a crash: show the offending line
+        # (ConfigError.describe carries the line number and text) and
+        # point at the static analyzer for the full report.
+        print(f"configuration error: {error.describe()}", file=sys.stderr)
+        print(
+            "hint: run 'python -m repro lint <config>' for the full "
+            "diagnostic report",
+            file=sys.stderr,
+        )
+        return 2
 
 
 if __name__ == "__main__":

@@ -136,12 +136,16 @@ def build_dag(
                 raise ConfigError(
                     f"instance '{spec.instance_id}' input "
                     f"'{input_spec.input_name}' references unknown instance "
-                    f"'{input_spec.instance_id}'"
+                    f"'{input_spec.instance_id}'",
+                    line_no=input_spec.line or None,
+                    line_text=input_spec.render(),
                 )
             if input_spec.instance_id == spec.instance_id:
                 raise ConfigError(
                     f"instance '{spec.instance_id}' cannot consume its own "
-                    f"outputs (input '{input_spec.input_name}')"
+                    f"outputs (input '{input_spec.input_name}')",
+                    line_no=input_spec.line or None,
+                    line_text=input_spec.render(),
                 )
 
     # Step 1: a vertex (context + module object) per instance.
@@ -175,7 +179,9 @@ def build_dag(
                     raise ConfigError(
                         f"instance '{spec.instance_id}' wires "
                         f"'@{input_spec.instance_id}' but that instance "
-                        "declared no outputs"
+                        "declared no outputs",
+                        line_no=input_spec.line or None,
+                        line_text=input_spec.render(),
                     )
             else:
                 if input_spec.output_name not in upstream_ctx.outputs:
@@ -183,7 +189,9 @@ def build_dag(
                         f"instance '{spec.instance_id}' wires "
                         f"'{input_spec.instance_id}.{input_spec.output_name}' "
                         "but that output does not exist (available: "
-                        f"{sorted(upstream_ctx.outputs)})"
+                        f"{sorted(upstream_ctx.outputs)})",
+                        line_no=input_spec.line or None,
+                        line_text=input_spec.render(),
                     )
                 outputs = [upstream_ctx.outputs[input_spec.output_name]]
             for output in outputs:
@@ -220,9 +228,12 @@ def build_dag(
 
     leftover = sorted(set(spec_by_id) - initialized)
     if leftover:
+        first = spec_by_id[leftover[0]]
         raise ConfigError(
             "DAG construction failed; the following instances could not be "
-            f"initialized (cycle or missing upstream): {leftover}"
+            f"initialized (cycle or missing upstream): {leftover}",
+            line_no=first.header_line or None,
+            line_text=f"[{first.module_type}]",
         )
     return dag
 
@@ -262,12 +273,16 @@ def extend_dag(
                 raise ConfigError(
                     f"instance '{spec.instance_id}' input "
                     f"'{input_spec.input_name}' references unknown instance "
-                    f"'{input_spec.instance_id}'"
+                    f"'{input_spec.instance_id}'",
+                    line_no=input_spec.line or None,
+                    line_text=input_spec.render(),
                 )
             if input_spec.instance_id == spec.instance_id:
                 raise ConfigError(
                     f"instance '{spec.instance_id}' cannot consume its own "
-                    f"outputs (input '{input_spec.input_name}')"
+                    f"outputs (input '{input_spec.input_name}')",
+                    line_no=input_spec.line or None,
+                    line_text=input_spec.render(),
                 )
 
     modules: Dict[str, Module] = {}
@@ -304,7 +319,9 @@ def extend_dag(
                     raise ConfigError(
                         f"instance '{spec.instance_id}' wires "
                         f"'@{input_spec.instance_id}' but that instance "
-                        "declared no outputs"
+                        "declared no outputs",
+                        line_no=input_spec.line or None,
+                        line_text=input_spec.render(),
                     )
             else:
                 if input_spec.output_name not in upstream_ctx.outputs:
@@ -312,7 +329,9 @@ def extend_dag(
                         f"instance '{spec.instance_id}' wires "
                         f"'{input_spec.instance_id}.{input_spec.output_name}' "
                         "but that output does not exist (available: "
-                        f"{sorted(upstream_ctx.outputs)})"
+                        f"{sorted(upstream_ctx.outputs)})",
+                        line_no=input_spec.line or None,
+                        line_text=input_spec.render(),
                     )
                 outputs = [upstream_ctx.outputs[input_spec.output_name]]
             for output in outputs:
@@ -349,9 +368,12 @@ def extend_dag(
     if leftover:
         for instance_id in leftover:
             dag.contexts.pop(instance_id, None)
+        first = spec_by_id[leftover[0]]
         raise ConfigError(
             "DAG extension failed; the following instances could not be "
-            f"initialized (cycle or missing upstream): {leftover}"
+            f"initialized (cycle or missing upstream): {leftover}",
+            line_no=first.header_line or None,
+            line_text=f"[{first.module_type}]",
         )
     return added
 

@@ -9,6 +9,8 @@ are reported as :class:`ModuleError`.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class FptError(Exception):
     """Base class for all fpt-core errors."""
@@ -20,7 +22,32 @@ class ConfigError(FptError):
     Mirrors the paper's behaviour (section 3.3): if the DAG cannot be
     fully constructed -- an input references a missing instance or output,
     or the wiring contains a cycle -- fpt-core terminates.
+
+    ``line_no`` and ``line_text`` locate the offending configuration line
+    when the error originated from (or can be traced back to) a parsed
+    configuration file; both are ``None`` for errors with no file
+    position (e.g. programmatically built specs).
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        line_no: Optional[int] = None,
+        line_text: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.line_no = line_no
+        self.line_text = line_text
+
+    def describe(self) -> str:
+        """The message plus the offending config line, when known."""
+        text = str(self)
+        if self.line_no is not None and "line " not in text.split(":")[0]:
+            text = f"line {self.line_no}: {text}"
+        if self.line_text:
+            text += f"\n    {self.line_text.strip()}"
+        return text
 
 
 class ModuleError(FptError):

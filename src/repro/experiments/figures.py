@@ -98,9 +98,13 @@ class Figure6Result:
         return "\n".join(lines)
 
 
+#: Default threshold sweep for figure6 (0..70 in steps of 5).
+_FIGURE6_THRESHOLDS = tuple(range(0, 75, 5))
+
+
 def figure6(
     config: Optional[ScenarioConfig] = None,
-    thresholds: Sequence[float] = tuple(range(0, 75, 5)),
+    thresholds: Sequence[float] = _FIGURE6_THRESHOLDS,
     ks: Sequence[float] = (0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0),
     model: Optional[BlackBoxModel] = None,
     jobs: int = 1,

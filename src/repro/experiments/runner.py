@@ -349,7 +349,7 @@ class EngineReport:
         payload: Dict[str, Any] = {
             "format": BENCH_FORMAT,
             "name": name,
-            "created_unix": int(time.time()),
+            "created_unix": int(time.time()),  # fpt: noqa[FPT201] -- metadata stamp, not scenario state
             "jobs": self.jobs,
             "mode": self.mode,
             "wall_s": round(self.wall_s, 4),

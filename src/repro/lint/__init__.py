@@ -1,0 +1,81 @@
+"""fpt-lint: static analysis for fpt-core configs and modules.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.lint.analyzer` -- parses a configuration *without
+  instantiating any module* and checks it against the declared module
+  contracts (``FPT0xx`` codes: unknown types, bad wiring, cycles, dead
+  instances, parameter type/range errors, scheduling problems).
+* :mod:`repro.lint.implcheck` -- AST-compares each module class's
+  actual ``ctx.*`` API usage with its contract (``FPT1xx``), and infers
+  contracts for custom module types that never declared one.
+* :mod:`repro.lint.determinism` -- flags wall-clock reads and unseeded
+  random sources in scenario code paths (``FPT2xx``), the calls that
+  break replay and serial/parallel parity.
+
+Entry points: the ``repro lint`` CLI subcommand, the ``lint=`` opt-in
+on :class:`repro.core.FptCore`, and the functions re-exported here.
+"""
+
+from .analyzer import analyze_config, analyze_specs
+from .contracts import (
+    ContractRegistry,
+    InputPortSpec,
+    ModuleContract,
+    ParamSpec,
+    TriggerSpec,
+    contract_table,
+    standard_contracts,
+)
+from .determinism import (
+    DEFAULT_PACKAGES,
+    determinism_hints,
+    lint_determinism,
+    scan_source,
+)
+from .diagnostics import (
+    CODES,
+    Diagnostic,
+    Severity,
+    apply_noqa,
+    has_errors,
+    render_json,
+    render_text,
+    sort_diagnostics,
+)
+from .implcheck import (
+    check_implementation,
+    check_registry,
+    contracts_for_registry,
+    infer_contract,
+    scan_module_class,
+)
+
+__all__ = [
+    "CODES",
+    "DEFAULT_PACKAGES",
+    "ContractRegistry",
+    "Diagnostic",
+    "InputPortSpec",
+    "ModuleContract",
+    "ParamSpec",
+    "Severity",
+    "TriggerSpec",
+    "analyze_config",
+    "analyze_specs",
+    "apply_noqa",
+    "check_implementation",
+    "check_registry",
+    "contract_table",
+    "contracts_for_registry",
+    "determinism_hints",
+    "has_errors",
+    "infer_contract",
+    "lint_determinism",
+    "render_json",
+    "render_text",
+    "scan_module_class",
+    "scan_source",
+    "sort_diagnostics",
+    "standard_contracts",
+]

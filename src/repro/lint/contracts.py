@@ -1,0 +1,497 @@
+"""Declarative module contracts for fpt-lint.
+
+A :class:`ModuleContract` states, for one configuration section type,
+everything the config analyzer needs to validate a config **without
+instantiating the module**: the typed parameters (with defaults and
+ranges), the input ports (names and multiplicities), the outputs the
+instance will declare (possibly a function of its params), how the
+instance is scheduled, and whether it is a sink.
+
+:func:`standard_contracts` returns the contract registry for every
+module in :func:`repro.modules.standard_registry`.  Contracts for user
+modules can be registered alongside, or inferred from the module source
+with :func:`repro.lint.implcheck.infer_contract` -- and
+:mod:`repro.lint.implcheck` verifies, AST-wise, that each standard
+module's ``init()`` agrees with the contract declared here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..core.config import InstanceSpec
+from ..sysstat.metrics import NODE_METRICS
+
+#: Parameter types a contract can declare.
+PARAM_TYPES = ("int", "float", "bool", "str", "list")
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One typed configuration parameter."""
+
+    name: str
+    type: str = "str"
+    required: bool = False
+    #: Documentation-only default (what the module uses when absent).
+    default: Optional[str] = None
+    #: Inclusive bounds for int/float params.
+    min_value: Optional[float] = None
+    max_value: Optional[float] = None
+    #: The value must be strictly positive (intervals, window widths).
+    positive: bool = False
+    #: Allowed values for str params / allowed items for list params.
+    choices: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.type not in PARAM_TYPES:
+            raise ValueError(
+                f"param '{self.name}': bad type {self.type!r} "
+                f"(choose from {PARAM_TYPES})"
+            )
+
+
+@dataclass(frozen=True)
+class InputPortSpec:
+    """One named input port (``input[name] = ...`` target)."""
+
+    name: str
+    required: bool = True
+    #: Maximum wired connections (1 for ``.single()`` ports; None = any).
+    max_connections: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class TriggerSpec:
+    """How the scheduler invokes the module.
+
+    * ``periodic`` -- the module calls ``schedule_every`` (pollers);
+    * ``fixed`` -- ``trigger_after_updates(updates)`` with a constant;
+    * ``per_connection`` -- runs once every wired connection has a fresh
+      sample (the scheduler default, and what modules that call
+      ``trigger_after_updates(connection_count)`` get);
+    * ``param`` -- the trigger count comes from the named int parameter.
+    """
+
+    kind: str
+    updates: int = 0
+    param: str = ""
+
+    @classmethod
+    def periodic(cls) -> "TriggerSpec":
+        return cls("periodic")
+
+    @classmethod
+    def fixed(cls, updates: int) -> "TriggerSpec":
+        return cls("fixed", updates=updates)
+
+    @classmethod
+    def per_connection(cls) -> "TriggerSpec":
+        return cls("per_connection")
+
+    @classmethod
+    def from_param(cls, name: str) -> "TriggerSpec":
+        return cls("param", param=name)
+
+
+@dataclass(frozen=True)
+class ModuleContract:
+    """Everything fpt-lint knows about one module type."""
+
+    type_name: str
+    params: Tuple[ParamSpec, ...] = ()
+    #: Named input ports.  Empty + ``accepts_any_inputs`` False +
+    #: ``allows_inputs`` False means the module takes no inputs at all.
+    inputs: Tuple[InputPortSpec, ...] = ()
+    #: The module iterates ``ctx.inputs`` and accepts arbitrary names.
+    accepts_any_inputs: bool = False
+    #: At least one input connection must be wired (sinks, unions).
+    requires_inputs: bool = False
+    #: False for pure data sources that call ``require_no_inputs()``.
+    allows_inputs: bool = True
+    #: Statically known output names.
+    outputs: Tuple[str, ...] = ()
+    #: Resolver for param-dependent outputs (sadc metrics, hadoop_log
+    #: nodes); receives the instance spec, returns the full output list.
+    output_resolver: Optional[Callable[[InstanceSpec], List[str]]] = field(
+        default=None, compare=False
+    )
+    #: Outputs cannot be statically enumerated at all (rare; disables
+    #: wiring checks against this instance).
+    opaque_outputs: bool = False
+    trigger: Optional[TriggerSpec] = None
+    #: Alarm/peer analyses: minimum distinct upstream connections.
+    min_peers: Optional[int] = None
+    #: Terminal consumer (reachability roots for dead-instance checks).
+    sink: bool = False
+    #: Cross-parameter validation hook: returns (param_name, message)
+    #: pairs for violations that single-param ranges cannot express.
+    check: Optional[
+        Callable[[InstanceSpec, Dict[str, object]], List[Tuple[str, str]]]
+    ] = field(default=None, compare=False)
+    #: Parameters cannot be statically enumerated (the implementation
+    #: reads them through computed names); disables unknown/missing
+    #: parameter checks for instances of this type.
+    opaque_params: bool = False
+    #: Set for contracts produced by AST inference rather than declared.
+    inferred: bool = False
+
+    def param(self, name: str) -> Optional[ParamSpec]:
+        for spec in self.params:
+            if spec.name == name:
+                return spec
+        return None
+
+    def port(self, name: str) -> Optional[InputPortSpec]:
+        for spec in self.inputs:
+            if spec.name == name:
+                return spec
+        return None
+
+    def outputs_for(self, spec: InstanceSpec) -> Optional[List[str]]:
+        """Output names this instance will declare; None if unknowable."""
+        if self.opaque_outputs:
+            return None
+        if self.output_resolver is not None:
+            return self.output_resolver(spec)
+        return list(self.outputs)
+
+
+class ContractRegistry:
+    """A type-name -> contract mapping mirroring the module registry."""
+
+    def __init__(self) -> None:
+        self._contracts: Dict[str, ModuleContract] = {}
+
+    def register(self, contract: ModuleContract) -> ModuleContract:
+        self._contracts[contract.type_name] = contract
+        return contract
+
+    def get(self, type_name: str) -> Optional[ModuleContract]:
+        return self._contracts.get(type_name)
+
+    def __contains__(self, type_name: str) -> bool:
+        return type_name in self._contracts
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._contracts))
+
+    def __len__(self) -> int:
+        return len(self._contracts)
+
+    def copy(self) -> "ContractRegistry":
+        clone = ContractRegistry()
+        clone._contracts = dict(self._contracts)
+        return clone
+
+
+def _split_list(value: str) -> List[str]:
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _sadc_outputs(spec: InstanceSpec) -> List[str]:
+    return ["vector"] + _split_list(spec.params.get("metrics", ""))
+
+
+def _hadoop_log_outputs(spec: InstanceSpec) -> List[str]:
+    return _split_list(spec.params.get("nodes", ""))
+
+
+def _check_hadoop_log(
+    spec: InstanceSpec, params: Dict[str, object]
+) -> List[Tuple[str, str]]:
+    if not _split_list(spec.params.get("nodes", "")):
+        return [("nodes", "'nodes' must name at least one node")]
+    return []
+
+
+def _check_ibuffer(
+    spec: InstanceSpec, params: Dict[str, object]
+) -> List[Tuple[str, str]]:
+    size = params.get("size", 10)
+    slide = params.get("slide", size)
+    if (
+        isinstance(size, int)
+        and isinstance(slide, int)
+        and slide > size
+    ):
+        return [("slide", f"slide ({slide}) must be <= size ({size})")]
+    return []
+
+
+def _interval_params() -> Tuple[ParamSpec, ...]:
+    return (
+        ParamSpec("interval", "float", default="1.0", positive=True),
+        ParamSpec("phase", "float", default="0.0", min_value=0.0),
+    )
+
+
+def standard_contracts() -> ContractRegistry:
+    """Contracts for every module in the standard registry."""
+    registry = ContractRegistry()
+
+    registry.register(
+        ModuleContract(
+            type_name="sadc",
+            params=(
+                ParamSpec("node", "str", required=True),
+                ParamSpec(
+                    "metrics", "list", default="", choices=tuple(NODE_METRICS)
+                ),
+            )
+            + _interval_params(),
+            allows_inputs=False,
+            outputs=("vector",),
+            output_resolver=_sadc_outputs,
+            trigger=TriggerSpec.periodic(),
+        )
+    )
+    registry.register(
+        ModuleContract(
+            type_name="hadoop_log",
+            params=(
+                ParamSpec("nodes", "list", required=True),
+                ParamSpec(
+                    "max_skew", "float", default="15.0", positive=True
+                ),
+            )
+            + _interval_params(),
+            allows_inputs=False,
+            output_resolver=_hadoop_log_outputs,
+            trigger=TriggerSpec.periodic(),
+            check=_check_hadoop_log,
+        )
+    )
+    registry.register(
+        ModuleContract(
+            type_name="strace",
+            params=(ParamSpec("node", "str", required=True),)
+            + _interval_params(),
+            allows_inputs=False,
+            outputs=("counts",),
+            trigger=TriggerSpec.periodic(),
+        )
+    )
+    registry.register(
+        ModuleContract(
+            type_name="knn",
+            params=(
+                ParamSpec("k", "int", default="1", min_value=1),
+                ParamSpec("model", "str", default="bb_model"),
+            ),
+            inputs=(InputPortSpec("input", max_connections=1),),
+            outputs=("output0",),
+            trigger=TriggerSpec.fixed(1),
+        )
+    )
+    registry.register(
+        ModuleContract(
+            type_name="ibuffer",
+            params=(
+                ParamSpec("size", "int", default="10", min_value=1),
+                ParamSpec("slide", "int", default="size", min_value=1),
+            ),
+            inputs=(InputPortSpec("input", max_connections=1),),
+            outputs=("output0",),
+            trigger=TriggerSpec.fixed(1),
+            check=_check_ibuffer,
+        )
+    )
+    registry.register(
+        ModuleContract(
+            type_name="mavgvec",
+            params=(
+                ParamSpec("window", "int", default="60", min_value=1),
+                ParamSpec("slide", "int", default="window", min_value=1),
+            ),
+            inputs=(InputPortSpec("input"),),
+            outputs=("mean", "var"),
+            trigger=TriggerSpec.per_connection(),
+        )
+    )
+    registry.register(
+        ModuleContract(
+            type_name="threshold_alarm",
+            params=(
+                ParamSpec("bound", "float", required=True),
+                ParamSpec(
+                    "direction", "str", default="above",
+                    choices=("above", "below"),
+                ),
+                ParamSpec("consecutive", "int", default="1", min_value=1),
+                ParamSpec(
+                    "reduce", "str", default="max",
+                    choices=("max", "min", "mean"),
+                ),
+            ),
+            inputs=(InputPortSpec("m", max_connections=1),),
+            outputs=("alarms",),
+            trigger=TriggerSpec.fixed(1),
+        )
+    )
+    registry.register(
+        ModuleContract(
+            type_name="syscall_anomaly",
+            params=(
+                ParamSpec("window", "int", default="60", min_value=1),
+                ParamSpec("slide", "int", default="window", min_value=1),
+                ParamSpec(
+                    "baseline_windows", "int", default="3", min_value=1
+                ),
+                ParamSpec(
+                    "threshold", "float", default="0.15", min_value=0.0
+                ),
+            ),
+            inputs=(InputPortSpec("s", max_connections=1),),
+            outputs=("alarms", "divergence"),
+            trigger=TriggerSpec.fixed(1),
+        )
+    )
+    registry.register(
+        ModuleContract(
+            type_name="analysis_bb",
+            params=(
+                ParamSpec("threshold", "float", required=True, min_value=0.0),
+                ParamSpec("window", "int", default="60", min_value=1),
+                ParamSpec("slide", "int", default="window", min_value=1),
+                ParamSpec("consecutive", "int", default="3", min_value=1),
+                ParamSpec("num_states", "int", required=True, min_value=1),
+            ),
+            accepts_any_inputs=True,
+            requires_inputs=True,
+            outputs=("alarms", "decisions", "stats"),
+            trigger=TriggerSpec.per_connection(),
+            min_peers=3,
+        )
+    )
+    registry.register(
+        ModuleContract(
+            type_name="analysis_wb",
+            params=(
+                ParamSpec("k", "float", default="3.0", positive=True),
+                ParamSpec("window", "int", default="60", min_value=1),
+                ParamSpec("slide", "int", default="window", min_value=1),
+                ParamSpec("consecutive", "int", default="2", min_value=1),
+            ),
+            accepts_any_inputs=True,
+            requires_inputs=True,
+            outputs=("alarms", "decisions", "stats"),
+            trigger=TriggerSpec.per_connection(),
+            min_peers=3,
+        )
+    )
+    registry.register(
+        ModuleContract(
+            type_name="alarm_union",
+            accepts_any_inputs=True,
+            requires_inputs=True,
+            outputs=("alarms",),
+            trigger=TriggerSpec.fixed(1),
+        )
+    )
+    registry.register(
+        ModuleContract(
+            type_name="print",
+            params=(
+                ParamSpec("quiet", "bool", default="true"),
+                ParamSpec("prefix", "str", default="<instance id>"),
+            ),
+            accepts_any_inputs=True,
+            requires_inputs=True,
+            trigger=TriggerSpec.fixed(1),
+            sink=True,
+        )
+    )
+    registry.register(
+        ModuleContract(
+            type_name="csv_writer",
+            params=(ParamSpec("path", "str", required=True),),
+            accepts_any_inputs=True,
+            requires_inputs=True,
+            trigger=TriggerSpec.fixed(1),
+            sink=True,
+        )
+    )
+    registry.register(
+        ModuleContract(
+            type_name="mitigate",
+            params=(
+                ParamSpec(
+                    "controller", "str", default="mitigation_controller"
+                ),
+                ParamSpec("min_alarms", "int", default="2", min_value=1),
+            ),
+            accepts_any_inputs=True,
+            requires_inputs=True,
+            outputs=("actions",),
+            trigger=TriggerSpec.fixed(1),
+            sink=True,
+        )
+    )
+    return registry
+
+
+def contract_table(registry: Optional[ContractRegistry] = None) -> str:
+    """Render the registry as an aligned text table (CLI/describe aid)."""
+    registry = registry if registry is not None else standard_contracts()
+    rows = []
+    for type_name in registry:
+        contract = registry.get(type_name)
+        params = ", ".join(
+            f"{p.name}:{p.type}" + ("*" if p.required else "")
+            for p in contract.params
+        )
+        if contract.accepts_any_inputs:
+            inputs = "<any>"
+        elif not contract.allows_inputs:
+            inputs = "-"
+        else:
+            inputs = ", ".join(p.name for p in contract.inputs)
+        outputs = "<dynamic>" if contract.output_resolver else (
+            ", ".join(contract.outputs) or "-"
+        )
+        rows.append((type_name, inputs, outputs, params or "-"))
+    widths = [
+        max(len(row[i]) for row in rows + [("type", "inputs", "outputs", "params")])
+        for i in range(4)
+    ]
+    header = ("type", "inputs", "outputs", "params")
+    lines = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(header)),
+        "  ".join("-" * widths[i] for i in range(4)),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def parse_param_value(spec: ParamSpec, raw: str):
+    """Parse ``raw`` per the spec's type; raises ValueError on mismatch."""
+    if spec.type == "int":
+        return int(raw)
+    if spec.type == "float":
+        return float(raw)
+    if spec.type == "bool":
+        lowered = raw.strip().lower()
+        if lowered in ("1", "true", "yes", "on"):
+            return True
+        if lowered in ("0", "false", "no", "off"):
+            return False
+        raise ValueError(f"not a boolean: {raw!r}")
+    if spec.type == "list":
+        return _split_list(raw)
+    return raw
+
+
+__all__ = [
+    "ContractRegistry",
+    "InputPortSpec",
+    "ModuleContract",
+    "PARAM_TYPES",
+    "ParamSpec",
+    "TriggerSpec",
+    "contract_table",
+    "parse_param_value",
+    "standard_contracts",
+]

@@ -1,0 +1,179 @@
+"""The fpt-lint diagnostic model: codes, severities, rendering, noqa.
+
+Every fpt-lint check emits :class:`Diagnostic` records with a stable
+code.  Codes are grouped by layer:
+
+* ``FPT0xx`` -- configuration analysis (:mod:`repro.lint.analyzer`);
+* ``FPT1xx`` -- module contract vs. implementation
+  (:mod:`repro.lint.implcheck`);
+* ``FPT2xx`` -- determinism (:mod:`repro.lint.determinism`).
+
+A diagnostic can be suppressed at its source line with an inline
+marker::
+
+    threshold = -5      # fpt: noqa[FPT009]
+    t = time.time()     # fpt: noqa[FPT201]
+    whatever = 1        # fpt: noqa           (suppresses every code)
+
+:func:`apply_noqa` filters a diagnostic list against the marker lines of
+the source text the diagnostics point into.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+#: ``# fpt: noqa`` or ``# fpt: noqa[FPT001,FPT007]`` (case-insensitive).
+_NOQA_RE = re.compile(
+    r"#\s*fpt:\s*noqa(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` means the configuration cannot run (or cannot be trusted to
+    run deterministically); ``WARNING`` means it will run but something
+    is dead, ignored, or suspicious.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: code -> (severity, one-line summary).  The single source of truth for
+#: the diagnostic table in DESIGN.md / README.md.
+CODES: Dict[str, "tuple[Severity, str]"] = {
+    "FPT000": (Severity.ERROR, "configuration syntax error"),
+    "FPT001": (Severity.ERROR, "unknown module type"),
+    "FPT002": (Severity.ERROR, "duplicate instance id"),
+    "FPT003": (Severity.ERROR, "wiring references an unknown instance"),
+    "FPT004": (Severity.ERROR, "wiring references a nonexistent output"),
+    "FPT005": (Severity.ERROR, "wiring cycle (DAG construction would fail)"),
+    "FPT006": (Severity.WARNING, "instance unreachable from any sink (dead)"),
+    "FPT007": (Severity.WARNING, "unknown parameter (never consumed)"),
+    "FPT008": (Severity.ERROR, "parameter has the wrong type"),
+    "FPT009": (Severity.ERROR, "parameter out of range"),
+    "FPT010": (Severity.ERROR, "required parameter missing"),
+    "FPT011": (Severity.ERROR, "input wiring violates the module contract"),
+    "FPT012": (Severity.ERROR, "trigger threshold exceeds wired connections"),
+    "FPT013": (Severity.ERROR, "peer-comparison group smaller than 3 peers"),
+    "FPT101": (Severity.ERROR, "implementation reads an undeclared parameter"),
+    "FPT102": (Severity.WARNING, "declared parameter never read"),
+    "FPT103": (Severity.ERROR, "implementation creates an undeclared output"),
+    "FPT104": (Severity.WARNING, "declared output never created"),
+    "FPT105": (Severity.ERROR, "implementation reads an undeclared input"),
+    "FPT106": (Severity.ERROR, "parameter accessor type conflicts with contract"),
+    "FPT201": (Severity.ERROR, "wall-clock read (breaks replay/parity)"),
+    "FPT202": (Severity.ERROR, "unseeded random source (breaks parity)"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding, pointing at a config line or a source location."""
+
+    code: str
+    message: str
+    #: 1-based line in ``file`` (0 = no position).
+    line: int = 0
+    #: What the line points into: a config file path, ``<config>`` for
+    #: in-memory text, or a Python source path.
+    file: str = "<config>"
+    #: Config instance id or module type the finding is about, if any.
+    instance: str = ""
+    severity: Severity = field(default=Severity.ERROR)
+
+    def __post_init__(self) -> None:
+        if self.code in CODES:
+            object.__setattr__(self, "severity", CODES[self.code][0])
+
+    def render(self) -> str:
+        location = self.file
+        if self.line:
+            location += f":{self.line}"
+        subject = f" [{self.instance}]" if self.instance else ""
+        return f"{location}: {self.code} {self.severity}:{subject} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "instance": self.instance,
+        }
+
+
+def noqa_lines(text: str) -> Dict[int, Optional[Set[str]]]:
+    """Map 1-based line numbers to their suppressed codes.
+
+    ``None`` means a bare ``# fpt: noqa`` that suppresses everything on
+    that line.
+    """
+    markers: Dict[int, Optional[Set[str]]] = {}
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            markers[line_no] = None
+        else:
+            parsed = {c.strip().upper() for c in codes.split(",") if c.strip()}
+            previous = markers.get(line_no)
+            if previous is None and line_no in markers:
+                continue  # bare noqa already suppresses everything
+            markers[line_no] = (previous or set()) | parsed
+    return markers
+
+
+def apply_noqa(
+    diagnostics: Iterable[Diagnostic], text: str
+) -> List[Diagnostic]:
+    """Drop diagnostics whose source line carries a matching noqa marker."""
+    markers = noqa_lines(text)
+    kept: List[Diagnostic] = []
+    for diag in diagnostics:
+        codes = markers.get(diag.line, ...) if diag.line else ...
+        if codes is ...:
+            kept.append(diag)
+        elif codes is not None and diag.code.upper() not in codes:
+            kept.append(diag)
+    return kept
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Stable order: by file, line, then code."""
+    return sorted(diagnostics, key=lambda d: (d.file, d.line, d.code))
+
+
+def render_text(diagnostics: Iterable[Diagnostic]) -> str:
+    """Human-readable report, one line per diagnostic plus a summary."""
+    diagnostics = sort_diagnostics(diagnostics)
+    if not diagnostics:
+        return "no diagnostics."
+    lines = [diag.render() for diag in diagnostics]
+    errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+    warnings = len(diagnostics) - errors
+    lines.append(f"{errors} error(s), {warnings} warning(s)")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Iterable[Diagnostic]) -> str:
+    """Machine-readable report (a JSON array of diagnostic objects)."""
+    return json.dumps(
+        [d.to_json() for d in sort_diagnostics(diagnostics)], indent=2
+    )
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    return any(d.severity is Severity.ERROR for d in diagnostics)

@@ -88,7 +88,7 @@ class _NullSpan:
         return self
 
     def __exit__(self, *exc_info) -> None:
-        return None
+        pass
 
 
 _NULL_SPAN = _NullSpan()

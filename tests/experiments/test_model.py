@@ -43,12 +43,12 @@ class TestTrainedModel:
                 )
 
     def test_training_is_deterministic(self):
-        kwargs = dict(
-            cluster_config=ClusterConfig(num_slaves=3, seed=5),
-            duration_s=50.0,
-            num_states=4,
-            seed=2,
-        )
+        kwargs = {
+            "cluster_config": ClusterConfig(num_slaves=3, seed=5),
+            "duration_s": 50.0,
+            "num_states": 4,
+            "seed": 2,
+        }
         a = train_blackbox_model(**kwargs)
         b = train_blackbox_model(**kwargs)
         assert np.array_equal(a.centroids, b.centroids)

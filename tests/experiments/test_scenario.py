@@ -12,14 +12,14 @@ from repro.experiments import (
 
 
 def small_config(**kwargs) -> ScenarioConfig:
-    defaults = dict(
-        num_slaves=5,
-        duration_s=300.0,
-        seed=13,
-        window=30,
-        slide=30,
-        inject_time=100.0,
-    )
+    defaults = {
+        "num_slaves": 5,
+        "duration_s": 300.0,
+        "seed": 13,
+        "window": 30,
+        "slide": 30,
+        "inject_time": 100.0,
+    }
     defaults.update(kwargs)
     return ScenarioConfig(**defaults)
 

@@ -1,0 +1,373 @@
+"""Config analysis: one fixture per FPT0xx diagnostic code.
+
+The acceptance gate for fpt-lint: every class of configuration mistake
+is caught statically, with the right stable code, without instantiating
+a single module.
+"""
+
+import pytest
+
+from repro.lint import (
+    ContractRegistry,
+    InputPortSpec,
+    ModuleContract,
+    ParamSpec,
+    TriggerSpec,
+    analyze_config,
+    standard_contracts,
+)
+from repro.lint.diagnostics import Severity
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+def only(diagnostics, code):
+    found = [d for d in diagnostics if d.code == code]
+    assert found, f"no {code} in {[d.render() for d in diagnostics]}"
+    return found[0]
+
+
+#: A minimal healthy pipeline many fixtures below perturb.
+HEALTHY = """\
+[sadc]
+id = src
+node = n1
+metrics = ldavg_1
+
+[mavgvec]
+id = smooth
+input[input] = src.ldavg_1
+
+[print]
+id = out
+input[x] = smooth.mean
+"""
+
+
+class TestCleanConfig:
+    def test_healthy_pipeline_has_no_diagnostics(self):
+        assert analyze_config(HEALTHY) == []
+
+
+class TestSyntaxAndIds:
+    def test_fpt000_syntax_error(self):
+        diags = analyze_config("not a section header\n")
+        diag = only(diags, "FPT000")
+        assert diag.line == 1
+        assert diag.severity is Severity.ERROR
+
+    def test_fpt000_collects_multiple_errors(self):
+        text = "junk line\n[sadc]\nid = s\nnode = n1\nalso junk\n"
+        assert codes(analyze_config(text)).count("FPT000") == 2
+
+    def test_fpt002_duplicate_instance_id(self):
+        text = HEALTHY + "\n[print]\nid = out\ninput[x] = smooth.mean\n"
+        diag = only(analyze_config(text), "FPT002")
+        assert "duplicate" in diag.message
+
+    def test_fpt001_unknown_module_type(self):
+        diag = only(analyze_config("[not_a_module]\nid = x\n"), "FPT001")
+        assert "not_a_module" in diag.message
+        assert diag.line == 1
+        assert diag.instance == "x"
+
+
+class TestWiring:
+    def test_fpt003_unknown_instance(self):
+        text = HEALTHY.replace("src.ldavg_1", "ghost.ldavg_1")
+        diag = only(analyze_config(text), "FPT003")
+        assert "ghost" in diag.message
+        assert diag.line == 8
+
+    def test_fpt004_nonexistent_output(self):
+        text = HEALTHY.replace("src.ldavg_1", "src.nope")
+        diag = only(analyze_config(text), "FPT004")
+        assert "src.nope" in diag.message
+        assert "ldavg_1" in diag.message  # suggests what does exist
+
+    def test_fpt004_at_form_on_outputless_instance(self):
+        text = """\
+[print]
+id = sink1
+input[x] = smooth.mean
+
+[mavgvec]
+id = smooth
+input[input] = @sink1
+"""
+        diag = only(analyze_config(text), "FPT004")
+        assert "@sink1" in diag.message
+
+    def test_fpt005_self_loop(self):
+        text = "[mavgvec]\nid = loop\ninput[input] = loop.mean\n"
+        diag = only(analyze_config(text), "FPT005")
+        assert "its own" in diag.message
+
+    def test_fpt005_cycle(self):
+        text = """\
+[mavgvec]
+id = a
+input[input] = b.mean
+
+[mavgvec]
+id = b
+input[input] = a.mean
+"""
+        diag = only(analyze_config(text), "FPT005")
+        assert "'a'" in diag.message and "'b'" in diag.message
+
+    def test_fpt006_dead_instance_is_warning(self):
+        text = HEALTHY + "\n[sadc]\nid = orphan\nnode = n2\n"
+        diag = only(analyze_config(text), "FPT006")
+        assert diag.severity is Severity.WARNING
+        assert diag.instance == "orphan"
+
+    def test_fpt011_unknown_port(self):
+        text = """\
+[sadc]
+id = src
+node = n1
+
+[knn]
+id = k
+input[bogus_port] = src.vector
+model = bb_model
+
+[print]
+id = out
+input[x] = k.output0
+"""
+        messages = [
+            d.message for d in analyze_config(text) if d.code == "FPT011"
+        ]
+        assert any("bogus_port" in m for m in messages)
+
+    def test_fpt011_missing_required_port(self):
+        text = "[knn]\nid = k\nmodel = bb_model\n\n[print]\nid = o\ninput[x] = k.output0\n"
+        diag = only(analyze_config(text), "FPT011")
+        assert "required input port 'input'" in diag.message
+
+    def test_fpt011_multiplicity_exceeded(self):
+        text = """\
+[sadc]
+id = s1
+node = n1
+
+[sadc]
+id = s2
+node = n2
+
+[knn]
+id = k
+input[input] = s1.vector
+input[input] = s2.vector
+model = bb_model
+
+[print]
+id = out
+input[x] = k.output0
+"""
+        diag = only(analyze_config(text), "FPT011")
+        assert "at most 1" in diag.message
+
+    def test_fpt011_inputs_on_a_source(self):
+        text = HEALTHY + "\n[sadc]\nid = s2\nnode = n2\ninput[x] = smooth.mean\n"
+        diag = only(analyze_config(text), "FPT011")
+        assert "data source" in diag.message
+
+
+class TestParams:
+    def test_fpt007_unknown_param_is_warning(self):
+        text = HEALTHY.replace("node = n1", "node = n1\nbanana = 7")
+        diag = only(analyze_config(text), "FPT007")
+        assert diag.severity is Severity.WARNING
+        assert "banana" in diag.message
+        assert diag.line == 4
+
+    def test_fpt008_bad_type(self):
+        text = HEALTHY.replace(
+            "input[input] = src.ldavg_1",
+            "input[input] = src.ldavg_1\nwindow = sixty",
+        )
+        diag = only(analyze_config(text), "FPT008")
+        assert "'window' must be int" in diag.message
+
+    def test_fpt009_below_minimum(self):
+        text = HEALTHY.replace(
+            "input[input] = src.ldavg_1",
+            "input[input] = src.ldavg_1\nwindow = 0",
+        )
+        diag = only(analyze_config(text), "FPT009")
+        assert ">= 1" in diag.message
+
+    def test_fpt009_bad_choice(self):
+        text = HEALTHY.replace(
+            "metrics = ldavg_1", "metrics = ldavg_1, bogus_metric"
+        )
+        diag = only(analyze_config(text), "FPT009")
+        assert "bogus_metric" in diag.message
+
+    def test_fpt009_cross_param_rule(self):
+        text = """\
+[sadc]
+id = src
+node = n1
+
+[knn]
+id = k
+input[input] = src.vector
+model = bb_model
+
+[ibuffer]
+id = buf
+input[input] = k.output0
+size = 5
+slide = 9
+
+[print]
+id = out
+input[x] = buf.output0
+"""
+        diag = only(analyze_config(text), "FPT009")
+        assert "slide (9) must be <= size (5)" in diag.message
+
+    def test_fpt010_missing_required(self):
+        diag = only(analyze_config("[sadc]\nid = s\n"), "FPT010")
+        assert "'node'" in diag.message
+
+
+class TestScheduling:
+    def _contracts_with_trigger_param(self):
+        contracts = standard_contracts()
+        contracts.register(
+            ModuleContract(
+                type_name="batcher",
+                params=(ParamSpec("need", "int", min_value=1),),
+                inputs=(InputPortSpec("input", required=False),),
+                outputs=("batch",),
+                trigger=TriggerSpec.from_param("need"),
+                sink=True,
+            )
+        )
+        return contracts
+
+    def test_fpt012_param_trigger_exceeds_connections(self):
+        text = """\
+[sadc]
+id = src
+node = n1
+
+[batcher]
+id = b
+input[input] = src.vector
+need = 5
+"""
+        diags = analyze_config(
+            text, contracts=self._contracts_with_trigger_param()
+        )
+        diag = only(diags, "FPT012")
+        assert "threshold 5 exceeds the 1" in diag.message
+        assert diag.line == 8  # points at the param, not the header
+
+    def test_fpt012_satisfiable_trigger_is_clean(self):
+        text = """\
+[sadc]
+id = src
+node = n1
+
+[batcher]
+id = b
+input[input] = src.vector
+need = 1
+"""
+        diags = analyze_config(
+            text, contracts=self._contracts_with_trigger_param()
+        )
+        assert "FPT012" not in codes(diags)
+
+    def test_fpt012_fixed_trigger_with_no_wiring(self):
+        text = "[knn]\nid = k\nmodel = bb_model\n\n[print]\nid = o\ninput[x] = k.output0\n"
+        assert "FPT012" in codes(analyze_config(text))
+
+    def test_fpt013_peer_group_too_small(self):
+        text = """\
+[sadc]
+id = s1
+node = n1
+
+[sadc]
+id = s2
+node = n2
+
+[analysis_bb]
+id = bb
+input[a] = s1.vector
+input[b] = s2.vector
+threshold = 40
+num_states = 5
+
+[print]
+id = out
+input[x] = bb.alarms
+"""
+        diag = only(analyze_config(text), "FPT013")
+        assert "at least 3 peers" in diag.message
+        assert "got 2" in diag.message
+
+    def test_fpt013_three_peers_is_clean(self):
+        text = """\
+[sadc]
+id = s1
+node = n1
+
+[sadc]
+id = s2
+node = n2
+
+[sadc]
+id = s3
+node = n3
+
+[analysis_bb]
+id = bb
+input[a] = s1.vector
+input[b] = s2.vector
+input[c] = s3.vector
+threshold = 40
+num_states = 5
+
+[print]
+id = out
+input[x] = bb.alarms
+"""
+        assert "FPT013" not in codes(analyze_config(text))
+
+
+class TestNoqaInConfigs:
+    def test_marker_suppresses_on_its_line(self):
+        text = HEALTHY.replace(
+            "node = n1", "node = n1\nbanana = 7  # fpt: noqa[FPT007]"
+        )
+        assert analyze_config(text) == []
+
+    def test_marker_can_be_disabled(self):
+        text = HEALTHY.replace(
+            "node = n1", "node = n1\nbanana = 7  # fpt: noqa[FPT007]"
+        )
+        assert "FPT007" in codes(analyze_config(text, noqa=False))
+
+
+class TestCustomContracts:
+    def test_unknown_type_with_custom_registry(self):
+        contracts = ContractRegistry()
+        contracts.register(ModuleContract(type_name="only_this", sink=True))
+        diags = analyze_config("[other]\nid = x\n", contracts=contracts)
+        assert codes(diags) == ["FPT001"]
+
+    @pytest.mark.parametrize("code", ["FPT001", "FPT003", "FPT005"])
+    def test_error_codes_are_errors(self, code):
+        from repro.lint.diagnostics import CODES
+
+        assert CODES[code][0] is Severity.ERROR

@@ -1,0 +1,92 @@
+"""Determinism lint: wall-clock and unseeded-random detection."""
+
+from repro.lint import DEFAULT_PACKAGES, lint_determinism, scan_source
+from repro.lint.determinism import determinism_hints
+
+
+def codes(text):
+    return [d.code for d in scan_source(text)]
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        assert codes("import time\nt = time.time()\n") == ["FPT201"]
+
+    def test_time_time_ns_flagged(self):
+        assert codes("t = time.time_ns()\n") == ["FPT201"]
+
+    def test_datetime_now_flagged(self):
+        assert codes("import datetime\nd = datetime.datetime.now()\n") == [
+            "FPT201"
+        ]
+        assert codes("from datetime import date\nd = date.today()\n") == [
+            "FPT201"
+        ]
+
+    def test_perf_counter_and_monotonic_allowed(self):
+        assert codes("t = time.perf_counter()\nu = time.monotonic()\n") == []
+
+    def test_conversion_with_explicit_timestamp_allowed(self):
+        assert codes("s = time.ctime(0)\ng = time.gmtime(12)\n") == []
+        assert codes("d = datetime.datetime.fromtimestamp(5)\n") == []
+
+    def test_bare_gmtime_flagged(self):
+        assert codes("g = time.gmtime()\n") == ["FPT201"]
+
+    def test_unrelated_time_attribute_allowed(self):
+        # A local object that happens to have a .time() method.
+        assert codes("t = self.clock.time()\n") == []
+
+
+class TestRandomness:
+    def test_global_random_flagged(self):
+        assert codes("import random\nx = random.random()\n") == ["FPT202"]
+        assert codes("random.shuffle(items)\n") == ["FPT202"]
+
+    def test_numpy_global_state_flagged(self):
+        assert codes("x = np.random.rand(3)\n") == ["FPT202"]
+        assert codes("numpy.random.seed(0)\n") == ["FPT202"]
+
+    def test_seeded_generators_allowed(self):
+        assert codes("rng = np.random.default_rng(42)\n") == []
+        assert codes("rng = random.Random(7)\n") == []
+        assert codes("rng = np.random.default_rng(seed=config.seed)\n") == []
+
+    def test_unseeded_constructors_flagged(self):
+        assert codes("rng = np.random.default_rng()\n") == ["FPT202"]
+        assert codes("rng = np.random.RandomState()\n") == ["FPT202"]
+
+    def test_method_on_instance_allowed(self):
+        # rng.random() is a seeded generator's method, not the global.
+        assert codes("x = rng.random()\n") == []
+
+
+class TestMechanics:
+    def test_noqa_suppresses(self):
+        assert codes("t = time.time()  # fpt: noqa[FPT201]\n") == []
+
+    def test_syntax_error_reports_fpt000(self):
+        assert codes("def broken(:\n") == ["FPT000"]
+
+    def test_line_numbers_are_reported(self):
+        diags = scan_source("x = 1\nt = time.time()\n")
+        assert diags[0].line == 2
+
+
+class TestRepoCodePaths:
+    def test_scenario_code_paths_are_clean(self):
+        """The shipped modules/analysis/experiments carry no hazards
+        (deliberate uses are noqa'd at the line)."""
+        assert lint_determinism() == []
+
+    def test_default_packages_cover_the_scenario_surface(self):
+        assert DEFAULT_PACKAGES == (
+            "repro.modules",
+            "repro.analysis",
+            "repro.experiments",
+        )
+
+    def test_hints_text_mentions_mismatched_tasks(self):
+        findings, text = determinism_hints(["CPUHog/seed7"])
+        assert findings == []
+        assert "1 task(s)" in text

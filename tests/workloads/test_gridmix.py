@@ -13,7 +13,7 @@ from repro.workloads import (
 
 
 def make_workload(**kwargs) -> GridMixWorkload:
-    defaults = dict(duration_s=2000.0, seed=5)
+    defaults = {"duration_s": 2000.0, "seed": 5}
     defaults.update(kwargs)
     return generate_workload(GridMixConfig(**defaults))
 
