@@ -19,7 +19,10 @@ Everything the evaluation does, runnable from a terminal:
                    scan scenario code paths for determinism hazards;
 * ``telemetry`` -- run a monitored scenario with self-instrumentation on
                    and print the summary (per-instance run latencies,
-                   queue stats, RPC bytes, the alarm audit trail);
+                   queue stats, RPC bytes, the alarm audit trail,
+                   filterable with ``--tail``/``--since``);
+* ``top``       -- live ANSI dashboard over a running scenario: node
+                   health, sample-to-alarm latencies, hottest modules;
 * ``incident``  -- inspect the incident bundles a recorded run froze;
 * ``replay``    -- feed a recorded flight archive back through a DAG
                    config, faster than real time, and check the replayed
@@ -31,6 +34,13 @@ Everything the evaluation does, runnable from a terminal:
 --record DIR`` attaches a flight recorder: every channel is archived to
 ``DIR`` together with the trained model, the generated configuration and
 one incident bundle per alarm, ready for ``incident`` and ``replay``.
+
+``demo --serve PORT`` attaches the diagnosis observatory and serves the
+live ops surface (``/health``, ``/metrics``, ``/status``, ``/alarms``,
+``/scoreboard``) over HTTP while the run executes; ``--linger S`` keeps
+the endpoint up after the run so external scrapers can collect, and
+``--scoreboard DIR`` writes the online ground-truth scoreboard as
+``BENCH_scoreboard.json``.
 """
 
 from __future__ import annotations
@@ -102,6 +112,20 @@ def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_observatory_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--serve", metavar="PORT", type=int, nargs="?", const=0, default=None,
+        help="serve the live ops surface (/health /metrics /status "
+        "/alarms /scoreboard) on this port while the run executes "
+        "(0 or no value = ephemeral port)",
+    )
+    parser.add_argument(
+        "--linger", type=float, default=0.0, metavar="S",
+        help="keep the ops surface up S wall seconds after the run "
+        "(GET /shutdown ends the wait early)",
+    )
+
+
 def _make_telemetry(args) -> Optional[Telemetry]:
     """An enabled Telemetry when any telemetry flag was given, else None."""
     if args.trace or args.metrics or args.audit:
@@ -125,6 +149,24 @@ def _dump_telemetry(telemetry: Optional[Telemetry], args) -> None:
         print(f"wrote {len(telemetry.audit)} audit records to {args.audit}")
 
 
+def _linger(server, linger_s: float) -> None:
+    """Keep the ops surface up after the run until timeout or /shutdown."""
+    if linger_s <= 0:
+        return
+    import time
+
+    print(
+        f"lingering {linger_s:.0f}s on {server.url} "
+        "(GET /shutdown to stop early)...",
+        flush=True,
+    )
+    deadline = time.monotonic() + linger_s
+    while time.monotonic() < deadline:
+        if server.shutdown_requested.wait(timeout=0.2):
+            print("shutdown requested; stopping ops surface.", flush=True)
+            return
+
+
 def _scenario_config(args, fault: Optional[str]) -> ScenarioConfig:
     return ScenarioConfig(
         num_slaves=args.slaves,
@@ -138,6 +180,16 @@ def _scenario_config(args, fault: Optional[str]) -> ScenarioConfig:
 def cmd_demo(args) -> int:
     config = _scenario_config(args, args.fault)
     telemetry = _make_telemetry(args)
+    observatory = None
+    server = None
+    if args.serve is not None or args.scoreboard is not None:
+        from .obsv import Observatory, OpsServer
+
+        observatory = Observatory(telemetry=telemetry)
+        telemetry = observatory.telemetry
+        if args.serve is not None:
+            server = OpsServer(observatory, port=args.serve).start()
+            print(f"ops surface listening on {server.url}", flush=True)
     print(f"training black-box model ({args.slaves} slaves)...", flush=True)
     model = shared_model(config, training_duration_s=min(300.0, args.duration))
     recorder = None
@@ -158,22 +210,36 @@ def cmd_demo(args) -> int:
         f"{args.fault or 'no fault'}...",
         flush=True,
     )
-    if args.jobs != 1 and telemetry is None and recorder is None:
-        # Telemetry and flight recording need the run in-process; plain
-        # demos may go through the experiment runner (same results).
+    in_process = (
+        telemetry is not None or recorder is not None or observatory is not None
+    )
+    if args.jobs != 1 and not in_process:
+        # Telemetry, flight recording and the observatory need the run
+        # in-process; plain demos may go through the experiment runner
+        # (same results).
         report = run_tasks(
             [ExperimentTask("demo", config)], jobs=args.jobs, model=model
         )
         result = report.results[0].load()
     else:
         result = run_scenario(
-            config, model=model, telemetry=telemetry, recorder=recorder
+            config,
+            model=model,
+            telemetry=telemetry,
+            recorder=recorder,
+            observatory=observatory,
         )
     print()
     print(render_summary(result))
     print()
     print(render_timeline(result))
     _dump_telemetry(telemetry, args)
+    if observatory is not None:
+        path = observatory.write_scoreboard(directory=args.scoreboard)
+        print(f"\nwrote scoreboard to {path}")
+    if server is not None:
+        _linger(server, args.linger)
+        server.stop()
     if recorder is not None:
         recorder.close()
         stats = recorder.stats()
@@ -270,7 +336,15 @@ def cmd_bench(args) -> int:
             print(hint_text, file=sys.stderr)
     path = write_bench_json(report, args.name, directory=args.out)
     print(f"wrote {path}")
-    return 0 if parity_ok else 1
+    gate_ok = True
+    if args.gate:
+        from .experiments import check_speedup_gate
+
+        gate_ok, message = check_speedup_gate(
+            report, args.gate, slack=args.gate_slack
+        )
+        print(message, file=sys.stderr if not gate_ok else sys.stdout)
+    return 0 if parity_ok and gate_ok else 1
 
 
 def cmd_table2(args) -> int:
@@ -360,7 +434,13 @@ def cmd_telemetry(args) -> int:
     print(telemetry.summary_text())
     if len(telemetry.audit):
         print("\nalarm audit trail:")
-        print(telemetry.audit.render_text(limit=20))
+        print(
+            telemetry.audit.render_text(
+                limit=None if (args.tail or args.since is not None) else 20,
+                tail=args.tail,
+                since=args.since,
+            )
+        )
     if args.dot:
         os.makedirs(os.path.dirname(args.dot) or ".", exist_ok=True)
         with open(args.dot, "w", encoding="utf-8") as fh:
@@ -368,6 +448,46 @@ def cmd_telemetry(args) -> int:
         print(f"\nwrote annotated DAG to {args.dot}")
     _dump_telemetry(telemetry, args)
     result.handles.core.close()
+    return 0
+
+
+def cmd_top(args) -> int:
+    """Live ANSI dashboard over a monitored scenario as it runs."""
+    from .obsv import CLEAR_SCREEN, Observatory, OpsServer, render_top
+
+    config = _scenario_config(args, args.fault)
+    observatory = Observatory()
+    server = None
+    if args.serve is not None:
+        server = OpsServer(observatory, port=args.serve).start()
+    color = not args.no_color and sys.stdout.isatty()
+    print(f"training black-box model ({args.slaves} slaves)...", flush=True)
+    model = shared_model(config, training_duration_s=min(300.0, args.duration))
+
+    last_frame = [float("-inf")]
+
+    def repaint(sim_now: float) -> None:
+        if sim_now - last_frame[0] < args.refresh:
+            return
+        last_frame[0] = sim_now
+        frame = render_top(observatory, color=color)
+        sys.stdout.write((CLEAR_SCREEN if color else "\n") + frame + "\n")
+        sys.stdout.flush()
+
+    run_scenario(
+        config,
+        model=model,
+        observatory=observatory,
+        tick_callback=None if args.once else repaint,
+    )
+    final = render_top(observatory, color=color)
+    if color and not args.once:
+        sys.stdout.write(CLEAR_SCREEN)
+    print(final)
+    if server is not None:
+        print(f"\nops surface on {server.url}")
+        _linger(server, args.linger)
+        server.stop()
     return 0
 
 
@@ -456,7 +576,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach a flight recorder and archive the run (channels, "
         "model, config, incident bundles) into DIR",
     )
+    _add_observatory_args(demo)
+    demo.add_argument(
+        "--scoreboard", metavar="DIR", nargs="?", const=".", default=None,
+        help="attach the observatory and write BENCH_scoreboard.json "
+        "into DIR (default: the working directory)",
+    )
     demo.set_defaults(handler=cmd_demo)
+
+    top = commands.add_parser(
+        "top",
+        help="live ANSI dashboard over a monitored fault-injection run",
+    )
+    _add_scenario_args(top)
+    top.add_argument(
+        "--fault",
+        choices=list(FAULT_NAMES),
+        default="CPUHog",
+        help="fault to inject (Table 2 name)",
+    )
+    top.add_argument(
+        "--refresh", type=float, default=15.0,
+        help="simulated seconds between dashboard repaints",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="skip live repaints; print one final frame after the run",
+    )
+    top.add_argument(
+        "--no-color", action="store_true",
+        help="plain text frames (also implied when stdout is not a tty)",
+    )
+    _add_observatory_args(top)
+    top.set_defaults(handler=cmd_top)
 
     telemetry = commands.add_parser(
         "telemetry",
@@ -477,6 +629,14 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument(
         "--dot", metavar="FILE", default=None,
         help="write the DAG annotated with run counts and mean latencies",
+    )
+    telemetry.add_argument(
+        "--tail", type=int, default=None, metavar="N",
+        help="show only the last N alarm audit records",
+    )
+    telemetry.add_argument(
+        "--since", type=float, default=None, metavar="TS",
+        help="show only audit records at simulated time >= TS",
     )
     telemetry.set_defaults(handler=cmd_telemetry)
 
@@ -524,6 +684,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None,
         help="output directory for the BENCH file "
         "(default: $ASDF_BENCH_DIR or the working directory)",
+    )
+    bench.add_argument(
+        "--gate", metavar="BASELINE.json", default=None,
+        help="regression gate: exit 1 if this run's speedup_vs_serial "
+        "falls below the baseline BENCH file's (times --gate-slack)",
+    )
+    bench.add_argument(
+        "--gate-slack", type=float, default=0.85, metavar="FRAC",
+        help="fraction of the baseline speedup that still passes the "
+        "gate (absorbs runner noise)",
     )
     bench.set_defaults(handler=cmd_bench)
 

@@ -64,6 +64,7 @@ __all__ = [
     "ModelCache",
     "TaskResult",
     "bench_output_dir",
+    "check_speedup_gate",
     "derive_seed",
     "parity_mismatches",
     "run_tasks",
@@ -517,3 +518,45 @@ def write_bench_json(
     path = directory / f"BENCH_{name}.json"
     path.write_text(json.dumps(report.bench_payload(name, extra=extra), indent=2))
     return path
+
+
+def check_speedup_gate(
+    report: EngineReport,
+    baseline_path: Union[str, Path],
+    slack: float = 0.85,
+) -> Tuple[bool, str]:
+    """Regression-gate ``speedup_vs_serial`` against a committed baseline.
+
+    Reads the ``speedup_vs_serial`` field of the baseline BENCH file
+    (e.g. the repository's committed ``BENCH_table2.json``) and passes
+    iff the report's speedup is at least ``slack`` times it -- the slack
+    absorbs shared-runner noise while still catching a parallel engine
+    that quietly stopped scaling.  Returns ``(ok, message)``; a report
+    without a serial reference, or a baseline without a recorded
+    speedup, passes with an explanatory message (the gate needs both
+    numbers to mean anything).
+    """
+    try:
+        baseline = json.loads(Path(baseline_path).read_text())
+    except (OSError, ValueError) as error:
+        return False, f"speedup gate: cannot read baseline {baseline_path}: {error}"
+    reference = baseline.get("speedup_vs_serial")
+    if reference is None:
+        return True, (
+            f"speedup gate: baseline {baseline_path} records no "
+            "speedup_vs_serial; nothing to gate against"
+        )
+    measured = report.speedup_vs_serial
+    if measured is None:
+        return True, (
+            "speedup gate: report has no serial reference "
+            "(run with --check-parity or jobs=1 first); nothing to gate"
+        )
+    floor = float(reference) * slack
+    verdict = measured >= floor
+    message = (
+        f"speedup gate: measured {measured:.3f}x vs baseline "
+        f"{float(reference):.3f}x (floor {floor:.3f}x at slack {slack:.2f}) "
+        f"-- {'PASS' if verdict else 'FAIL'}"
+    )
+    return verdict, message

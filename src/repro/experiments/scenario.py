@@ -102,13 +102,21 @@ class AsdfHandles:
     hl_dn_channels: Dict[str, InprocChannel]
 
 
-def build_asdf_config_text(nodes: List[str], config: ScenarioConfig) -> str:
+def build_asdf_config_text(
+    nodes: List[str], config: ScenarioConfig, scoreboard: bool = False
+) -> str:
     """Render the full fpt-core configuration for a deployment.
 
     This is the analogue of the paper's Figure 3 file: sadc -> knn ->
     ibuffer -> analysis_bb on the black-box side, hadoop_log ->
     analysis_wb on the white-box side, alarm sinks, and the union module
     implementing the combined fingerpointer.
+
+    ``scoreboard=True`` additionally wires the online ground-truth
+    scoring sink (:mod:`repro.modules.scoreboard`) to the combined alarm
+    stream and both detectors' decision streams; the default keeps the
+    generated text byte-identical to pre-observatory deployments, which
+    the archive-replay and parity guarantees rest on.
     """
     lines: List[str] = []
     for node in nodes:
@@ -177,6 +185,15 @@ def build_asdf_config_text(nodes: List[str], config: ScenarioConfig) -> str:
         "id = CombinedAlarm",
         "input[a] = combined.alarms",
     ]
+    if scoreboard:
+        lines += [
+            "",
+            "[scoreboard]",
+            "id = scoreboard",
+            "input[a] = combined.alarms",
+            "input[db] = analysis_bb.decisions",
+            "input[dw] = analysis_wb.decisions",
+        ]
     return "\n".join(lines) + "\n"
 
 
@@ -186,6 +203,7 @@ def deploy_asdf(
     config: ScenarioConfig,
     telemetry: Optional[Telemetry] = None,
     recorder=None,
+    observatory=None,
 ) -> AsdfHandles:
     """Stand up daemons, channels and the fpt-core for a cluster.
 
@@ -195,7 +213,15 @@ def deploy_asdf(
     output of the deployed core and (when archiving) stamps the rendered
     configuration text into the archive manifest so the recorded run can
     be replayed without the original scenario code.
+    ``observatory``, a :class:`repro.obsv.Observatory`, adds the online
+    ground-truth scoring sink to the generated configuration, registers
+    itself as the ``observatory`` service and taps every output for
+    sample->alarm latency tracing.  When the observatory brings its own
+    telemetry and none was passed explicitly, that telemetry instruments
+    the core so ``/metrics`` has run stats to serve.
     """
+    if observatory is not None and telemetry is None:
+        telemetry = observatory.telemetry
     nodes = cluster.slave_names
     sadc_daemons = {
         node: SadcDaemon(node, cluster.procfs(node)) for node in nodes
@@ -231,7 +257,11 @@ def deploy_asdf(
         },
         "bb_model": model,
     }
-    config_text = build_asdf_config_text(nodes, config)
+    if observatory is not None:
+        services["observatory"] = observatory
+    config_text = build_asdf_config_text(
+        nodes, config, scoreboard=observatory is not None
+    )
     core = FptCore.from_config(
         config_text,
         standard_registry(),
@@ -242,6 +272,8 @@ def deploy_asdf(
     if recorder is not None:
         core.set_flight_recorder(recorder)
         recorder.note_manifest(config_text=config_text, nodes=nodes)
+    if observatory is not None:
+        observatory.attach(core)
     return AsdfHandles(
         core=core,
         sadc_daemons=sadc_daemons,
@@ -318,8 +350,18 @@ def run_scenario(
     keep_handles: bool = False,
     telemetry: Optional[Telemetry] = None,
     recorder=None,
+    observatory=None,
+    tick_callback=None,
 ) -> ScenarioResult:
-    """Execute one full evaluation run and score it."""
+    """Execute one full evaluation run and score it.
+
+    ``observatory`` (a :class:`repro.obsv.Observatory`) turns on the
+    diagnosis-observatory surfaces: the injected fault registers its
+    ground-truth window with the online scoreboard before the run
+    starts, and the deployment gains the ``scoreboard`` scoring sink.
+    ``tick_callback(cluster_time_s)``, if given, is invoked after every
+    lock-step second -- the hook ``repro top`` repaints from.
+    """
     if model is None:
         model = train_blackbox_model(
             cluster_config=ClusterConfig(
@@ -346,11 +388,17 @@ def run_scenario(
         )
         fault.arm(cluster, fault_spec)
         truth = fault.ground_truth(fault_spec)
+        if observatory is not None:
+            fault.register_ground_truth(observatory, fault_spec)
     else:
         truth = GroundTruth(faulty_node=None)
+        if observatory is not None:
+            # Register the fault-free context: every alarm is false.
+            observatory.register_ground_truth(None, truth)
 
     handles = deploy_asdf(
-        cluster, model, config, telemetry=telemetry, recorder=recorder
+        cluster, model, config, telemetry=telemetry, recorder=recorder,
+        observatory=observatory,
     )
     core = handles.core
 
@@ -359,6 +407,8 @@ def run_scenario(
     while cluster.time < config.duration_s - 1e-9:
         cluster.step(1.0)
         core.run_until(cluster.time)
+        if tick_callback is not None:
+            tick_callback(cluster.time)
 
     def sink(name: str):
         return core.instance(name)

@@ -405,6 +405,18 @@ def standard_contracts() -> ContractRegistry:
     )
     registry.register(
         ModuleContract(
+            type_name="scoreboard",
+            params=(
+                ParamSpec("service", "str", default="observatory"),
+            ),
+            accepts_any_inputs=True,
+            requires_inputs=True,
+            trigger=TriggerSpec.fixed(1),
+            sink=True,
+        )
+    )
+    registry.register(
+        ModuleContract(
             type_name="csv_writer",
             params=(ParamSpec("path", "str", required=True),),
             accepts_any_inputs=True,

@@ -33,8 +33,13 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from .diagnostics import Diagnostic, apply_noqa, sort_diagnostics
 
 #: Packages whose code runs inside scenario executions and must stay
-#: deterministic for parity and replay.
-DEFAULT_PACKAGES = ("repro.modules", "repro.analysis", "repro.experiments")
+#: deterministic for parity and replay.  ``repro.obsv`` runs inside
+#: observatory-enabled scenarios: its wall-clock reads are confined to
+#: perf_counter/monotonic measurement plus explicitly-suppressed
+#: metadata stamps, and this lint keeps it that way.
+DEFAULT_PACKAGES = (
+    "repro.modules", "repro.analysis", "repro.experiments", "repro.obsv",
+)
 
 #: ``time.<fn>()`` reads that return wall-clock-dependent values.
 _WALL_CLOCK_TIME_FNS = {

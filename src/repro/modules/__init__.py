@@ -3,7 +3,8 @@
 Data collection: ``sadc`` (black-box /proc metrics), ``hadoop_log``
 (white-box state vectors with cross-node synchronization).
 Analysis: ``mavgvec``, ``knn``, ``analysis_bb``, ``analysis_wb``.
-Plumbing/sinks: ``ibuffer``, ``print``, ``alarm_union``, ``csv_writer``.
+Plumbing/sinks: ``ibuffer``, ``print``, ``alarm_union``, ``csv_writer``,
+``scoreboard`` (online ground-truth scoring into the observatory).
 
 :func:`standard_registry` returns a registry with all of them, ready to
 be extended with user modules (the paper's pluggability requirement).
@@ -20,6 +21,7 @@ from .knn import KnnModule
 from .mavgvec import MavgVecModule
 from .mitigate import MitigationModule
 from .sadc import SADC_CHANNEL_SERVICE, SadcModule
+from .scoreboard import ScoreboardModule
 from .threshold import ThresholdAlarmModule
 from .strace import (
     STRACE_CHANNEL_SERVICE,
@@ -39,6 +41,7 @@ STANDARD_MODULES = (
     MitigationModule,
     PrintModule,
     SadcModule,
+    ScoreboardModule,
     StraceModule,
     SyscallAnomalyModule,
     ThresholdAlarmModule,
@@ -69,6 +72,7 @@ __all__ = [
     "STANDARD_MODULES",
     "STRACE_CHANNEL_SERVICE",
     "SadcModule",
+    "ScoreboardModule",
     "StraceModule",
     "SyscallAnomalyModule",
     "ThresholdAlarmModule",

@@ -7,7 +7,12 @@ every frame identically so byte accounting matches the wire.
 """
 
 from .client import RpcClient
-from .daemons import LOG_PARSER_LAG_S, HadoopLogDaemon, SadcDaemon
+from .daemons import (
+    LOG_PARSER_LAG_S,
+    HadoopLogDaemon,
+    ObservatoryDaemon,
+    SadcDaemon,
+)
 from .inproc import InprocChannel
 from .protocol import (
     MAX_FRAME_BYTES,
@@ -35,6 +40,7 @@ __all__ = [
     "InprocChannel",
     "LOG_PARSER_LAG_S",
     "MAX_FRAME_BYTES",
+    "ObservatoryDaemon",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "RemoteError",

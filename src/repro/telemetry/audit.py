@@ -88,19 +88,53 @@ class AlarmAuditTrail:
                 seen.append(record.node)
         return seen
 
-    def render_text(self, limit: Optional[int] = None) -> str:
-        records = self._records if limit is None else self._records[:limit]
+    def filtered(
+        self, tail: Optional[int] = None, since: Optional[float] = None
+    ) -> List[AuditRecord]:
+        """Records with ``time >= since``, then only the last ``tail``.
+
+        Both filters are optional; with neither, the full trail is
+        returned.  This backs the CLI's ``--tail``/``--since`` options
+        and the ops surface's ``/alarms`` query parameters.
+        """
+        records = self._records
+        if since is not None:
+            records = [r for r in records if r.time >= since]
+        if tail is not None and tail >= 0:
+            records = records[len(records) - tail:] if tail else []
+        return list(records)
+
+    def render_text(
+        self,
+        limit: Optional[int] = None,
+        tail: Optional[int] = None,
+        since: Optional[float] = None,
+    ) -> str:
+        selected = self.filtered(tail=tail, since=since)
+        records = selected if limit is None else selected[:limit]
         lines = [record.describe() for record in records]
-        if limit is not None and len(self._records) > limit:
-            lines.append(f"... and {len(self._records) - limit} more")
+        if len(selected) > len(records):
+            lines.append(f"... and {len(selected) - len(records)} more")
+        if len(self._records) > len(selected):
+            lines.append(
+                f"({len(self._records) - len(selected)} records filtered out)"
+            )
         return "\n".join(lines)
 
-    def render_jsonl(self) -> str:
+    def render_jsonl(
+        self, tail: Optional[int] = None, since: Optional[float] = None
+    ) -> str:
+        records = self.filtered(tail=tail, since=since)
         return "\n".join(
-            json.dumps(record.to_json_obj()) for record in self._records
-        ) + ("\n" if self._records else "")
+            json.dumps(record.to_json_obj()) for record in records
+        ) + ("\n" if records else "")
 
-    def write_jsonl(self, path: str) -> None:
+    def write_jsonl(
+        self,
+        path: str,
+        tail: Optional[int] = None,
+        since: Optional[float] = None,
+    ) -> None:
         os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
         with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.render_jsonl())
+            fh.write(self.render_jsonl(tail=tail, since=since))

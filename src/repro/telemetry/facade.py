@@ -29,7 +29,15 @@ family                                    type       labels
 ``asdf_experiment_task_wall_seconds``     histogram  --
 ``asdf_experiment_task_cpu_seconds``      histogram  --
 ``asdf_experiment_tasks_total``           counter    ``worker``
+``asdf_alarm_sim_latency_seconds``        histogram  ``fault``, ``stage``
+``asdf_alarm_wall_latency_seconds``       histogram  ``fault``, ``stage``
 ========================================  =========  =============================
+
+The alarm-latency pair is recorded by the diagnosis observatory
+(:mod:`repro.obsv`): sample->alarm latency derived from the ``Alarm.via``
+provenance chain, per attributed fault and per pipeline stage (with the
+reserved stage ``total`` for end-to-end ingest->sink latency), on both
+the simulated clock and the wall clock.
 
 The flight recorder (:mod:`repro.flightrec`) registers its own gauge
 families when attached to a telemetry-enabled core:
@@ -58,6 +66,12 @@ LAG_BUCKETS_S = (1e-6, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
 #: Experiment-runner tasks run whole scenarios: sub-second smoke configs
 #: up through multi-minute evaluation runs.
 TASK_SECONDS_BUCKETS = (0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0)
+
+#: Sample->alarm latency on the *simulated* clock: dominated by window
+#: widths and consecutive-window requirements, so seconds to minutes.
+ALARM_SIM_LATENCY_BUCKETS_S = (
+    1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 180.0, 300.0, 600.0, 1200.0,
+)
 
 
 class RunStats:
@@ -88,6 +102,7 @@ class Telemetry:
         self._lag_hist: Optional[Histogram] = None
         self._task_metrics: Optional[tuple] = None
         self._task_worker_cache: Dict[str, object] = {}
+        self._alarm_latency_cache: Dict[Tuple[str, str], tuple] = {}
 
     # -- scheduler hooks -----------------------------------------------------
 
@@ -228,6 +243,48 @@ class Telemetry:
             )
             self._task_worker_cache[worker] = counter
         counter.inc()
+
+    # -- observatory hooks ---------------------------------------------------
+
+    def record_alarm_latency(
+        self,
+        fault: str,
+        stage: str,
+        sim_s: Optional[float],
+        wall_s: Optional[float],
+    ) -> None:
+        """Account one sample->alarm latency observation.
+
+        ``stage`` is one output on the alarm's via chain, or the
+        reserved label ``total`` for end-to-end ingest->sink latency.
+        Called by :class:`repro.obsv.Observatory` only for measured
+        records, so ``None`` components are simply skipped.
+        """
+        key = (fault, stage)
+        cached = self._alarm_latency_cache.get(key)
+        if cached is None:
+            labels = {"fault": fault, "stage": stage}
+            cached = (
+                self.metrics.histogram(
+                    "asdf_alarm_sim_latency_seconds",
+                    "Sample->alarm latency on the simulated clock, from "
+                    "the Alarm.via provenance walk.",
+                    labels,
+                    buckets=ALARM_SIM_LATENCY_BUCKETS_S,
+                ),
+                self.metrics.histogram(
+                    "asdf_alarm_wall_latency_seconds",
+                    "Sample->alarm latency on the wall clock (real "
+                    "processing time), from the Alarm.via provenance walk.",
+                    labels,
+                ),
+            )
+            self._alarm_latency_cache[key] = cached
+        sim_hist, wall_hist = cached
+        if sim_s is not None:
+            sim_hist.observe(sim_s)
+        if wall_s is not None:
+            wall_hist.observe(wall_s)
 
     # -- rpc hooks -----------------------------------------------------------
 

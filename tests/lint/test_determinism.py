@@ -84,6 +84,7 @@ class TestRepoCodePaths:
             "repro.modules",
             "repro.analysis",
             "repro.experiments",
+            "repro.obsv",
         )
 
     def test_hints_text_mentions_mismatched_tasks(self):

@@ -1,0 +1,47 @@
+"""Tests for the pure dashboard renderer behind ``repro top``."""
+
+from repro.analysis.metrics import GroundTruth
+from repro.obsv import CLEAR_SCREEN, Observatory, render_top
+
+from .helpers import ALARM_SCRIPT, SCORED_PIPELINE_CONFIG, build_core
+
+
+def scored_observatory():
+    observatory = Observatory()
+    observatory.register_ground_truth(
+        "CPUHog", GroundTruth(faulty_node="slave01", inject_time=2.0)
+    )
+    core = build_core(
+        SCORED_PIPELINE_CONFIG,
+        services={
+            "script": {"src": ALARM_SCRIPT},
+            "observatory": observatory,
+        },
+    )
+    observatory.attach(core)
+    core.run_until(float(len(ALARM_SCRIPT)))
+    core.close()
+    return observatory
+
+
+class TestRenderTop:
+    def test_empty_observatory_renders_placeholders(self):
+        frame = render_top(Observatory(), color=False)
+        assert "asdf top" in frame
+        assert "no alarms and no registered faults" in frame
+        assert "no measured alarms yet" in frame
+        assert "\x1b[" not in frame  # color off means no ANSI codes
+
+    def test_scored_run_shows_nodes_and_latencies(self):
+        frame = render_top(scored_observatory(), color=False)
+        assert "alarms=3" in frame
+        assert "slave01" in frame
+        assert "CPUHog" in frame
+        assert "p50=" in frame and "fingerpoint=" in frame
+        # The union stage shows up in the per-stage breakdown.
+        assert "union.alarms" in frame
+
+    def test_color_frames_carry_ansi(self):
+        frame = render_top(scored_observatory(), color=True)
+        assert "\x1b[1m" in frame  # bold header
+        assert CLEAR_SCREEN.startswith("\x1b[")

@@ -56,3 +56,45 @@ class TestTrail:
         trail = make_trail()
         text = trail.render_text(limit=1)
         assert "and 2 more" in text
+
+
+class TestFiltering:
+    def test_filtered_tail(self):
+        trail = make_trail()
+        records = trail.filtered(tail=2)
+        assert [r.time for r in records] == [360.0, 420.0]
+        assert trail.filtered(tail=0) == []
+
+    def test_filtered_since(self):
+        trail = make_trail()
+        records = trail.filtered(since=360.0)  # boundary is inclusive
+        assert [r.time for r in records] == [360.0, 420.0]
+        assert trail.filtered(since=1000.0) == []
+
+    def test_filtered_since_then_tail(self):
+        trail = make_trail()
+        records = trail.filtered(tail=1, since=301.0)
+        assert [r.time for r in records] == [420.0]
+
+    def test_no_filters_returns_everything(self):
+        trail = make_trail()
+        assert len(trail.filtered()) == 3
+
+    def test_render_text_reports_filtered_out(self):
+        trail = make_trail()
+        text = trail.render_text(tail=1)
+        assert "culprit=slave02" in text
+        assert "2 records filtered out" in text
+        assert "culprit=slave05" not in text
+
+    def test_render_jsonl_filters(self):
+        trail = make_trail()
+        lines = trail.render_jsonl(since=400.0).splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["time"] == 420.0
+
+    def test_write_jsonl_filters(self, tmp_path):
+        trail = make_trail()
+        path = tmp_path / "tail.jsonl"
+        trail.write_jsonl(str(path), tail=2)
+        assert len(path.read_text().splitlines()) == 2
