@@ -26,7 +26,17 @@ Everything the evaluation does, runnable from a terminal:
 * ``incident``  -- inspect the incident bundles a recorded run froze;
 * ``replay``    -- feed a recorded flight archive back through a DAG
                    config, faster than real time, and check the replayed
-                   alarms against the recording.
+                   alarms against the recording;
+* ``cluster``   -- the live multi-daemon deployment: ``cluster up``
+                   spawns one collection daemon per node as a real OS
+                   process plus the central analysis daemon (federated
+                   ``/metrics``, ``/status``, ``/cluster`` on the
+                   central's ops port), ``cluster drive`` runs the
+                   measured fault+kill scenario and writes
+                   ``BENCH_cluster.json``, and ``cluster top`` renders a
+                   terminal dashboard over the federated stats
+                   (``cluster node`` / ``cluster central`` are the
+                   daemon entrypoints the launcher spawns).
 
 ``demo`` and ``telemetry`` accept ``--trace FILE`` (Chrome
 ``chrome://tracing`` trace of every module run) and ``--metrics FILE``
@@ -460,7 +470,11 @@ def cmd_top(args) -> int:
     server = None
     if args.serve is not None:
         server = OpsServer(observatory, port=args.serve).start()
-    color = not args.no_color and sys.stdout.isatty()
+    # Non-TTY stdout (CI logs, pipes): no ANSI escapes, and repainting a
+    # log file is noise -- degrade to a single final snapshot.
+    tty = sys.stdout.isatty()
+    color = not args.no_color and tty
+    once = args.once or not tty
     print(f"training black-box model ({args.slaves} slaves)...", flush=True)
     model = shared_model(config, training_duration_s=min(300.0, args.duration))
 
@@ -478,10 +492,10 @@ def cmd_top(args) -> int:
         config,
         model=model,
         observatory=observatory,
-        tick_callback=None if args.once else repaint,
+        tick_callback=None if once else repaint,
     )
     final = render_top(observatory, color=color)
-    if color and not args.once:
+    if color and not once:
         sys.stdout.write(CLEAR_SCREEN)
     print(final)
     if server is not None:
@@ -552,6 +566,193 @@ def cmd_replay(args) -> int:
         return 0
     print("replay verdict: alarms DIFFER from the recorded run.")
     return 1
+
+
+def cmd_cluster_up(args) -> int:
+    """Spawn the multi-daemon cluster and supervise it until stopped."""
+    from .cluster import ClusterLauncher, list_runtimes
+
+    launcher = ClusterLauncher(
+        args.dir,
+        nodes=args.nodes,
+        interval_s=args.interval,
+        seed=args.seed,
+        max_frame_bytes=args.max_frame_bytes,
+    )
+    launcher.up()
+    print(
+        f"starting {args.nodes} collection daemons + central "
+        f"in {launcher.state_dir} ...",
+        flush=True,
+    )
+    if not launcher.wait_ready():
+        print("error: cluster did not become ready", file=sys.stderr)
+        launcher.shutdown()
+        return 1
+    central = list_runtimes(launcher.state_dir, role="central").get("central")
+    if central is not None:
+        print(f"central ops surface: {central.ops_url}")
+    for name, runtime in sorted(list_runtimes(launcher.state_dir,
+                                              role="node").items()):
+        print(
+            f"  {name}: pid {runtime.pid}, rpc :{runtime.rpc_port}, "
+            f"ops {runtime.ops_url}"
+        )
+    print("cluster ready; supervising (ctrl-C or the stop marker to exit)")
+    return launcher.supervise()
+
+
+def cmd_cluster_node(args) -> int:
+    """Entrypoint for one collection daemon (spawned by ``cluster up``)."""
+    from .cluster import run_node
+    from .rpc import set_max_frame_bytes
+
+    if args.max_frame_bytes is not None:
+        set_max_frame_bytes(args.max_frame_bytes)
+    return run_node(args.name, args.dir, seed=args.seed)
+
+
+def cmd_cluster_central(args) -> int:
+    """Entrypoint for the central analysis daemon."""
+    from .cluster import run_central
+    from .rpc import set_max_frame_bytes
+
+    if args.max_frame_bytes is not None:
+        set_max_frame_bytes(args.max_frame_bytes)
+    return run_central(args.dir, interval_s=args.interval,
+                       ops_port=args.serve or 0)
+
+
+def cmd_cluster_drive(args) -> int:
+    """Run the measured scenario against a live cluster."""
+    from .cluster.driver import DriveError, run_drive
+
+    try:
+        bench = run_drive(
+            args.dir,
+            args.out,
+            sustain_s=args.sustain,
+            inject_node=args.inject_node,
+            kill_node=args.kill_node,
+            fault_kind=args.fault_kind,
+            shutdown=args.shutdown,
+        )
+    except DriveError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    samples = bench["samples"]
+    latency = bench.get("alarm_latency_wall_s") or {}
+    reconnect = bench["reconnect"]
+    print(f"sustained throughput: {samples['per_sec']:.1f} samples/s "
+          f"({samples['measured']} samples over {bench['sustain_s']:.1f}s)")
+    if latency.get("count"):
+        print(f"alarm wall latency:   p50 {latency['p50']:.3f}s  "
+              f"p90 {latency['p90']:.3f}s  p99 {latency['p99']:.3f}s "
+              f"({latency['count']} observations)")
+    fault = bench["fault"]
+    if fault.get("detection_s") is not None:
+        print(f"fault detection:      {fault['kind']} on {fault['node']} "
+              f"flagged after {fault['detection_s']:.2f}s")
+    if reconnect.get("reconnected"):
+        print(f"kill + respawn:       {reconnect['killed_node']} back in "
+              f"{reconnect['downtime_s']:.2f}s "
+              f"(pid {reconnect['killed_pid']} -> "
+              f"{reconnect['respawned_pid']})")
+    trace = bench["trace"]
+    print(f"stitched trace:       {trace['multi_pid_traces']} multi-pid "
+          f"trace ids across {len(trace['distinct_pids'])} pids "
+          f"({trace['file']})")
+    out_path = os.path.join(args.out, "BENCH_cluster.json")
+    if bench["ok"]:
+        print(f"bench OK -> {out_path}")
+        return 0
+    for failure in bench["failures"]:
+        print(f"bench FAILURE: {failure}", file=sys.stderr)
+    print(f"bench NOT ok -> {out_path}", file=sys.stderr)
+    return 1
+
+
+def _render_cluster_top(stats: dict, cluster: dict) -> str:
+    """One text frame of the federated cluster dashboard."""
+    lines = []
+    backpressure = stats.get("backpressure", {})
+    latency = stats.get("alarm_wall_latency_s", {})
+    lines.append(
+        f"cluster: rounds {stats.get('rounds', 0)}  "
+        f"samples {stats.get('samples_total', 0)} "
+        f"({stats.get('samples_per_sec', 0.0):.1f}/s)  "
+        f"alarms {stats.get('alarms_total', 0)}  "
+        f"rounds_late {backpressure.get('rounds_late', 0)}"
+    )
+    if latency.get("count"):
+        lines.append(
+            f"alarm wall latency: p50 {latency['p50']:.3f}s  "
+            f"p90 {latency['p90']:.3f}s  p99 {latency['p99']:.3f}s"
+        )
+    lines.append("")
+    lines.append(f"{'DAEMON':<10} {'PID':>7} {'ALIVE':>5} {'CONN':>4} "
+                 f"{'BUSY%':>6} {'STREAK':>6} {'SAMPLES':>8} "
+                 f"{'LAG_S':>6} {'RECON':>5}")
+    nodes = stats.get("nodes", {})
+    daemons = sorted(cluster.get("daemons", []),
+                     key=lambda d: d.get("name", ""))
+    for daemon in daemons:
+        if daemon.get("role") != "node":
+            continue
+        name = daemon.get("name", "?")
+        node = nodes.get(name, {})
+        busy = node.get("busy_pct")
+        lag = node.get("watermark_lag_s")
+        lines.append(
+            f"{name:<10} {daemon.get('pid', 0):>7} "
+            f"{'yes' if daemon.get('alive') else 'NO':>5} "
+            f"{'yes' if node.get('connected') else 'no':>4} "
+            f"{(f'{busy:.1f}' if busy is not None else '-'):>6} "
+            f"{node.get('streak', 0):>6} {node.get('samples', 0):>8} "
+            f"{(f'{lag:.2f}' if lag is not None else '-'):>6} "
+            f"{node.get('reconnects', 0):>5}"
+        )
+    for alarm in stats.get("alarms", [])[-5:]:
+        lines.append("")
+        lines.append(
+            f"ALARM {alarm.get('node')}: {alarm.get('detail', '')} "
+            f"(wall latency "
+            f"{alarm.get('wall_latency_s', 0.0):.3f}s)"
+        )
+    return "\n".join(lines)
+
+
+def cmd_cluster_top(args) -> int:
+    """Live terminal dashboard over the federated cluster stats."""
+    import time as _time
+
+    from .cluster import list_runtimes, pid_alive
+    from .cluster.federation import http_get_json
+    from .obsv import CLEAR_SCREEN
+
+    runtime = list_runtimes(args.dir, role="central").get("central")
+    if runtime is None or not pid_alive(runtime.pid):
+        print(f"error: no live central daemon published in {args.dir}",
+              file=sys.stderr)
+        return 2
+    base = runtime.ops_url
+    tty = sys.stdout.isatty()
+    once = args.once or not tty
+    while True:
+        try:
+            stats = http_get_json(f"{base}/control/stats", timeout=5.0)
+            cluster = http_get_json(f"{base}/cluster", timeout=5.0)
+        except OSError as exc:
+            print(f"error: central daemon unreachable: {exc}",
+                  file=sys.stderr)
+            return 1
+        frame = _render_cluster_top(stats, cluster)
+        if once:
+            print(frame)
+            return 0
+        sys.stdout.write(CLEAR_SCREEN + frame + "\n")
+        sys.stdout.flush()
+        _time.sleep(args.refresh)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -759,6 +960,89 @@ def build_parser() -> argparse.ArgumentParser:
         "stored in the archive manifest)",
     )
     replay.set_defaults(handler=cmd_replay)
+
+    cluster = commands.add_parser(
+        "cluster",
+        help="live multi-daemon deployment: real processes, real sockets",
+    )
+    cluster_cmds = cluster.add_subparsers(dest="cluster_command",
+                                          required=True)
+
+    def _cluster_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--dir", default="out/cluster",
+            help="shared state directory (runtime files, logs, stop marker)",
+        )
+        sub.add_argument(
+            "--max-frame-bytes", type=int, default=None,
+            help="override the RPC frame-size limit for every daemon "
+            "(also settable via ASDF_MAX_FRAME_BYTES)",
+        )
+
+    up = cluster_cmds.add_parser(
+        "up", help="spawn central + N collection daemons, then supervise",
+    )
+    _cluster_common(up)
+    up.add_argument("--nodes", type=int, default=3,
+                    help="number of collection daemons")
+    up.add_argument("--interval", type=float, default=0.5,
+                    help="central poll interval, wall seconds")
+    up.add_argument("--seed", type=int, default=1,
+                    help="base RNG seed for the synthetic node loads")
+    up.set_defaults(handler=cmd_cluster_up)
+
+    node = cluster_cmds.add_parser(
+        "node", help="one collection daemon (spawned by 'cluster up')",
+    )
+    _cluster_common(node)
+    node.add_argument("--name", required=True, help="daemon name")
+    node.add_argument("--seed", type=int, default=0,
+                      help="RNG seed for this node's synthetic load")
+    node.set_defaults(handler=cmd_cluster_node)
+
+    central = cluster_cmds.add_parser(
+        "central", help="the central analysis daemon",
+    )
+    _cluster_common(central)
+    central.add_argument("--interval", type=float, default=0.5,
+                         help="poll interval, wall seconds")
+    central.add_argument("--serve", type=int, default=None, metavar="PORT",
+                         help="ops HTTP port (default: ephemeral)")
+    central.set_defaults(handler=cmd_cluster_central)
+
+    drive = cluster_cmds.add_parser(
+        "drive",
+        help="measured scenario: sustain, inject, kill + respawn, "
+        "write BENCH_cluster.json",
+    )
+    _cluster_common(drive)
+    drive.add_argument("--out", default=".",
+                       help="directory for BENCH_cluster.json and the "
+                       "stitched trace")
+    drive.add_argument("--sustain", type=float, default=5.0,
+                       help="wall seconds of steady-state traffic to measure")
+    drive.add_argument("--inject-node", default=None,
+                       help="node to perturb (default: first)")
+    drive.add_argument("--kill-node", default=None,
+                       help="node to SIGKILL (default: last)")
+    drive.add_argument("--fault-kind", default="cpuhog",
+                       choices=["cpuhog", "diskhog"],
+                       help="synthetic load perturbation to inject")
+    drive.add_argument("--shutdown", action="store_true",
+                       help="leave the stop marker when done so 'cluster "
+                       "up' exits")
+    drive.set_defaults(handler=cmd_cluster_drive)
+
+    cluster_top = cluster_cmds.add_parser(
+        "top", help="terminal dashboard over the federated cluster stats",
+    )
+    _cluster_common(cluster_top)
+    cluster_top.add_argument("--refresh", type=float, default=1.0,
+                             help="wall seconds between repaints")
+    cluster_top.add_argument("--once", action="store_true",
+                             help="print a single snapshot and exit "
+                             "(implied when stdout is not a TTY)")
+    cluster_top.set_defaults(handler=cmd_cluster_top)
 
     return parser
 

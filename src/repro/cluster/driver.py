@@ -1,0 +1,263 @@
+"""The load driver: ``repro cluster drive`` -> ``BENCH_cluster.json``.
+
+Drives a running cluster (started by ``repro cluster up``) through a
+measured scenario and emits the bench artifact turning the paper's
+simulated Table 3/4 overhead story into measurements of a live
+deployment:
+
+1. wait until the central daemon reports samples flowing from every
+   collection daemon, then reset the measurement window (``/control/mark``);
+2. sustain polling for the measurement period, recording end-to-end
+   samples/sec and round-duration backpressure;
+3. inject a fault into one node (``/control/inject``) and wait for the
+   online peer-deviation alarm, measuring wall-clock alarm latency --
+   sample emitted in the faulty daemon's process to indictment in the
+   central's, real socket hop included;
+4. SIGKILL a *different* collection daemon and wait for the launcher to
+   respawn it and the central to reconnect (new pid visible in
+   ``/cluster``, samples flowing again), measuring the outage;
+5. fetch the stitched cross-process Chrome trace and count traces whose
+   spans land in >= 2 distinct pids.
+
+The artifact (format ``asdf-cluster-bench/1``) carries every check's
+outcome plus a ``failures`` list; the CLI exits non-zero when it is
+non-empty, which is what the CI cluster-smoke job asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from typing import Dict, List, Optional
+from urllib.parse import urlencode
+
+from ..telemetry.tracing import pids_by_trace_id
+from .federation import http_get_json
+from .state import list_runtimes, pid_alive, request_stop
+
+__all__ = ["CLUSTER_BENCH_FORMAT", "DriveError", "run_drive"]
+
+CLUSTER_BENCH_FORMAT = "asdf-cluster-bench/1"
+
+#: How long to wait for the cluster to publish + start sampling.
+READY_TIMEOUT_S = 60.0
+
+#: How long to wait for the post-injection alarm.
+ALARM_TIMEOUT_S = 30.0
+
+#: How long to wait for respawn + reconnect after the kill.
+RECONNECT_TIMEOUT_S = 30.0
+
+
+class DriveError(RuntimeError):
+    """The cluster never became drivable (setup failure, not a finding)."""
+
+
+def _central_url(state_dir: str, timeout_s: float = READY_TIMEOUT_S) -> str:
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        runtime = list_runtimes(state_dir, role="central").get("central")
+        if runtime is not None and pid_alive(runtime.pid):
+            return runtime.ops_url
+        time.sleep(0.2)
+    raise DriveError(f"no live central daemon published in {state_dir}")
+
+
+def _control(base: str, action: str, **params) -> dict:
+    url = f"{base}/control/{action}"
+    clean = {k: v for k, v in params.items() if v is not None}
+    if clean:
+        url += "?" + urlencode(clean)
+    doc = http_get_json(url, timeout=10.0)
+    if not isinstance(doc, dict):
+        raise DriveError(f"bad control response from {url}: {doc!r}")
+    return doc
+
+
+def _stats(base: str) -> dict:
+    return _control(base, "stats")
+
+
+def _wait_until(predicate, timeout_s: float, poll_s: float = 0.25) -> bool:
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll_s)
+    return predicate()
+
+
+def run_drive(
+    state_dir: str,
+    out_dir: str,
+    sustain_s: float = 5.0,
+    inject_node: Optional[str] = None,
+    kill_node: Optional[str] = None,
+    fault_kind: str = "cpuhog",
+    shutdown: bool = False,
+) -> dict:
+    """Drive the cluster through the measured scenario; returns the bench.
+
+    Writes ``BENCH_cluster.json`` and ``trace_cluster.json`` into
+    ``out_dir``.  Raises :class:`DriveError` only when the cluster never
+    becomes drivable; scenario-check failures land in the artifact's
+    ``failures`` list instead.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    failures: List[str] = []
+    base = _central_url(state_dir)
+
+    # -- readiness: every published node sampling ---------------------------
+    def _all_sampling() -> bool:
+        nodes = _stats(base).get("nodes", {})
+        published = list_runtimes(state_dir, role="node")
+        return bool(published) and all(
+            nodes.get(name, {}).get("samples", 0) > 0 for name in published
+        )
+
+    if not _wait_until(_all_sampling, READY_TIMEOUT_S, poll_s=0.5):
+        raise DriveError("collection daemons never started sampling")
+    node_names = sorted(list_runtimes(state_dir, role="node"))
+    if inject_node is None:
+        inject_node = node_names[0]
+    if kill_node is None:
+        kill_node = node_names[-1] if len(node_names) > 1 else node_names[0]
+
+    # -- phase 1: sustained measurement window ------------------------------
+    _control(base, "mark")
+    time.sleep(max(0.5, sustain_s))
+    sustained = _stats(base)
+
+    # -- phase 2: fault injection -> online alarm ---------------------------
+    alarms_before = sustained.get("alarms_total", 0)
+    injected_wall = time.time()
+    _control(base, "inject", node=inject_node, kind=fault_kind, intensity=1.0)
+
+    def _alarmed() -> bool:
+        return _stats(base).get("alarms_total", 0) > alarms_before
+
+    if not _wait_until(_alarmed, ALARM_TIMEOUT_S):
+        failures.append(
+            f"no alarm within {ALARM_TIMEOUT_S}s of injecting "
+            f"{fault_kind} into {inject_node}"
+        )
+    alarmed_stats = _stats(base)
+    new_alarms = [
+        alarm for alarm in alarmed_stats.get("alarms", [])
+        if alarm.get("time_wall", 0.0) >= injected_wall
+    ]
+    detection_s = (
+        round(new_alarms[0]["time_wall"] - injected_wall, 3)
+        if new_alarms else None
+    )
+    if new_alarms and new_alarms[0].get("node") != inject_node:
+        failures.append(
+            f"alarm indicted {new_alarms[0].get('node')}, "
+            f"expected {inject_node}"
+        )
+
+    # -- phase 3: kill a daemon -> respawn + reconnect ----------------------
+    victim = list_runtimes(state_dir, role="node").get(kill_node)
+    reconnect: Dict[str, object] = {"killed_node": kill_node}
+    if victim is None:
+        failures.append(f"kill target {kill_node} not published")
+    else:
+        reconnect["killed_pid"] = victim.pid
+        killed_wall = time.time()
+        try:
+            os.kill(victim.pid, signal.SIGKILL)
+        except OSError as exc:
+            failures.append(f"could not kill {kill_node}: {exc}")
+
+        def _respawned() -> bool:
+            fresh = list_runtimes(state_dir, role="node").get(kill_node)
+            if fresh is None or fresh.pid == victim.pid:
+                return False
+            if not pid_alive(fresh.pid):
+                return False
+            peer = _stats(base).get("nodes", {}).get(kill_node, {})
+            return bool(peer.get("reconnects", 0)) and bool(
+                peer.get("connected")
+            )
+
+        if _wait_until(_respawned, RECONNECT_TIMEOUT_S):
+            fresh = list_runtimes(state_dir, role="node")[kill_node]
+            reconnect.update({
+                "respawned_pid": fresh.pid,
+                "reconnected": True,
+                "downtime_s": round(time.time() - killed_wall, 3),
+            })
+        else:
+            reconnect.update({"reconnected": False})
+            failures.append(
+                f"{kill_node} did not respawn+reconnect within "
+                f"{RECONNECT_TIMEOUT_S}s of SIGKILL"
+            )
+
+    # -- phase 4: stitched cross-process trace ------------------------------
+    _control(base, "clear")
+    trace_doc = _control(base, "trace")
+    trace_path = os.path.join(out_dir, "trace_cluster.json")
+    with open(trace_path, "w", encoding="utf-8") as fh:
+        json.dump(trace_doc, fh)
+    by_trace = pids_by_trace_id(trace_doc)
+    multi_pid = {
+        trace_id: sorted(pids)
+        for trace_id, pids in by_trace.items() if len(pids) >= 2
+    }
+    distinct_pids = sorted({
+        pid for pids in by_trace.values() for pid in pids
+    })
+    if not multi_pid:
+        failures.append(
+            "no trace_id with spans from >= 2 distinct pids in the "
+            "stitched trace"
+        )
+
+    # -- artifact -----------------------------------------------------------
+    final = _stats(base)
+    bench = {
+        "format": CLUSTER_BENCH_FORMAT,
+        "generated_wall": time.time(),
+        "nodes": len(node_names),
+        "sustain_s": sustain_s,
+        "samples": {
+            "measured": final.get("samples_since_mark"),
+            "per_sec": final.get("samples_per_sec"),
+            "total": final.get("samples_total"),
+        },
+        "alarm_latency_wall_s": final.get("alarm_wall_latency_s"),
+        "alarms_total": final.get("alarms_total"),
+        "fault": {
+            "node": inject_node,
+            "kind": fault_kind,
+            "injected_wall": injected_wall,
+            "detection_s": detection_s,
+        },
+        "reconnect": reconnect,
+        "backpressure": final.get("backpressure"),
+        "rpc": {
+            name: {
+                "bytes_sent": peer.get("rpc_bytes_sent"),
+                "bytes_received": peer.get("rpc_bytes_received"),
+                "watermark_lag_s": peer.get("watermark_lag_s"),
+            }
+            for name, peer in sorted(final.get("nodes", {}).items())
+        },
+        "trace": {
+            "file": os.path.basename(trace_path),
+            "multi_pid_traces": len(multi_pid),
+            "distinct_pids": distinct_pids,
+        },
+        "failures": failures,
+        "ok": not failures,
+    }
+    bench_path = os.path.join(out_dir, "BENCH_cluster.json")
+    with open(bench_path, "w", encoding="utf-8") as fh:
+        json.dump(bench, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    if shutdown:
+        request_stop(state_dir, reason="drive complete")
+    return bench

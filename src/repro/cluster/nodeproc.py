@@ -1,0 +1,69 @@
+"""One collection daemon process: the ``repro cluster node`` entrypoint.
+
+Each simulated node of the live cluster is a real OS process running
+this loop: a :class:`~repro.cluster.load.SyntheticNodeLoad` advancing a
+``/proc`` mirror at wall speed, a
+:class:`~repro.rpc.daemons.ClusterNodeDaemon` sampling it through sadc,
+an :class:`~repro.rpc.RpcServer` serving the central daemon's polls (and
+recording serve-side spans into this process's tracer), and a
+per-daemon :class:`~repro.obsv.OpsServer` exposing ``/metrics``,
+``/metrics.json`` and ``/trace`` for the federator to scrape.  On
+startup the process publishes its pid and both ports as a runtime file;
+the loop exits on SIGTERM/SIGINT, on the cluster's stop marker, or on
+an ops ``/shutdown``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+from ..obsv import Observatory, OpsServer
+from ..rpc import ClusterNodeDaemon, RpcServer
+from ..telemetry import Telemetry
+from .load import SyntheticNodeLoad
+from .state import DaemonRuntime, stop_requested, write_runtime
+
+__all__ = ["run_node"]
+
+#: How often the idle loop checks its exit conditions.
+POLL_S = 0.2
+
+
+def run_node(name: str, state_dir: str, seed: int = 0,
+             num_cpus: int = 4) -> int:
+    """Run one collection daemon until asked to stop; returns exit code."""
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):  # noqa: ARG001 - signal API
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+
+    telemetry = Telemetry(trace=True)
+    telemetry.tracer.process_name = name
+    load = SyntheticNodeLoad(name, seed=seed, num_cpus=num_cpus)
+    daemon = ClusterNodeDaemon(name, load)
+    server = RpcServer(
+        daemon, service=f"sadc@{name}", telemetry=telemetry
+    )
+    server.start()
+    observatory = Observatory(telemetry=telemetry)
+    ops = OpsServer(observatory).start()
+    write_runtime(state_dir, DaemonRuntime(
+        role="node", name=name, pid=os.getpid(),
+        host="127.0.0.1", rpc_port=server.address[1], ops_port=ops.port,
+        started_wall=time.time(),
+    ))
+    try:
+        while not stop.is_set():
+            if ops.shutdown_requested.is_set() or stop_requested(state_dir):
+                break
+            time.sleep(POLL_S)
+    finally:
+        server.stop()
+        ops.stop()
+    return 0

@@ -33,6 +33,15 @@ chain, or whose chain head has no ingest watermark (e.g. replayed
 archives where the raw collection stage was not re-run), yield a record
 whose totals are explicitly ``None`` -- well-defined absence, never a
 fabricated number.
+
+Cluster mode adds **remote hops**: when a sample enters the pipeline
+over a real socket (a collection daemon in another OS process), the
+ingest side calls :meth:`LatencyTracer.note_remote_write` with the wall
+seconds the sample spent in flight (emit instant at the remote daemon to
+arrival at the central analysis daemon, both on ``time.time()``).  The
+hop is stored per stage name and surfaced on each alarm record as
+``remote_hop_wall_s`` -- the share of end-to-end latency attributable to
+real network transport rather than in-process analysis.
 """
 
 from __future__ import annotations
@@ -85,6 +94,10 @@ class AlarmLatencyRecord:
     #: empty or its head has no ingest watermark (explicit absence).
     total_sim_s: Optional[float]
     total_wall_s: Optional[float]
+    #: Wall seconds spent on real socket hops by the stages on this
+    #: chain (``None`` when no stage recorded a remote hop -- e.g. all
+    #: in-process simulation runs).
+    remote_hop_wall_s: Optional[float] = None
 
     @property
     def measured(self) -> bool:
@@ -103,6 +116,7 @@ class AlarmLatencyRecord:
             "deliver_wall_s": self.deliver_wall_s,
             "total_sim_s": self.total_sim_s,
             "total_wall_s": self.total_wall_s,
+            "remote_hop_wall_s": self.remote_hop_wall_s,
         }
 
 
@@ -117,6 +131,9 @@ class LatencyTracer:
         self._ingest: Dict[str, Tuple[float, float]] = {}
         #: instance id -> upstream output full names (its wired inputs).
         self._upstreams: Dict[str, Tuple[str, ...]] = {}
+        #: stage name -> wall seconds its last sample spent on a real
+        #: socket hop (remote daemon emit -> local arrival).
+        self._remote_hops: Dict[str, float] = {}
         self.writes_observed = 0
 
     # -- attachment ----------------------------------------------------------
@@ -175,6 +192,37 @@ class LatencyTracer:
         if best is not None:
             self._ingest[name] = best
 
+    # -- remote (cluster) stamping -------------------------------------------
+
+    def note_write(self, name: str, sim: float, wall: float) -> None:
+        """Stamp one named stage's write without an Output object.
+
+        The cluster's central daemon runs a lightweight analysis loop
+        rather than a full core, so it stamps stages by name.
+        """
+        self._writes[name] = (sim, wall)
+        self.writes_observed += 1
+
+    def note_remote_write(
+        self,
+        name: str,
+        sim: float,
+        wall: float,
+        hop_wall_s: Optional[float] = None,
+    ) -> None:
+        """Stamp the arrival of a sample that crossed a real socket.
+
+        The arrival *is* ingest (the sample just entered this process's
+        pipeline); ``hop_wall_s`` is the measured emit->arrival wall
+        time at the remote daemon, folded into every alarm whose chain
+        passes through this stage.
+        """
+        self._writes[name] = (sim, wall)
+        self._ingest[name] = (sim, wall)
+        self.writes_observed += 1
+        if hop_wall_s is not None:
+            self._remote_hops[name] = max(0.0, hop_wall_s)
+
     # -- alarm-side walk -----------------------------------------------------
 
     def ingest_watermark(self, full_name: str) -> Optional[Tuple[float, float]]:
@@ -224,6 +272,11 @@ class LatencyTracer:
         deliver_wall = max(0.0, wall_now - last[1]) if last is not None else None
         total_sim = max(0.0, sim_now - ingest[0]) if ingest is not None else None
         total_wall = max(0.0, wall_now - ingest[1]) if ingest is not None else None
+        hops = [
+            self._remote_hops[name]
+            for name in delivered
+            if name in self._remote_hops
+        ]
         return AlarmLatencyRecord(
             alarm_time=alarm.time, node=alarm.node, source=alarm.source,
             delivered=tuple(delivered), ingest_sim=(
@@ -232,4 +285,5 @@ class LatencyTracer:
             stages=tuple(stages),
             deliver_sim_s=deliver_sim, deliver_wall_s=deliver_wall,
             total_sim_s=total_sim, total_wall_s=total_wall,
+            remote_hop_wall_s=sum(hops) if hops else None,
         )

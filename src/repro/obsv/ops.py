@@ -9,11 +9,20 @@ path                      payload
 ========================  ==================================================
 ``/health``               liveness JSON (sim time, alarm/decision counters)
 ``/metrics``              Prometheus text exposition of the core's metrics
+``/metrics.json``         the metrics registry snapshot (what the cluster
+                          federator scrapes -- structured, not text)
 ``/status``               DAG topology + per-module run stats (JSON)
 ``/alarms``               audit-trail tail; ``?tail=N`` and ``?since=TS``
 ``/scoreboard``           the online ground-truth scoreboard snapshot
+``/trace``                the telemetry tracer's Chrome-trace document
 ``/shutdown`` (POST/GET)  ask the embedding run to stop lingering
 ========================  ==================================================
+
+A *cluster surface* (see :class:`repro.cluster.federation.MetricsFederator`)
+may be attached; it adds ``/cluster`` (topology + per-daemon liveness)
+and ``/control/<action>`` (drive commands for the load driver), and
+takes over ``/metrics`` and ``/status`` with the federated cluster-wide
+views -- per-daemon surfaces stay reachable on each daemon's own port.
 
 The server runs on a daemon thread; readers only touch grow-only or
 atomically-replaced structures, so the GIL gives the in-process demo all
@@ -55,6 +64,7 @@ class _OpsHandler(BaseHTTPRequestHandler):
 
     server_version = "asdf-obsv/1"
     observatory: Observatory  # installed by OpsServer on the handler class
+    cluster = None            # optional federated cluster surface
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # quiet: the ops surface must not spam the run's stdout
@@ -75,13 +85,29 @@ class _OpsHandler(BaseHTTPRequestHandler):
         query = parse_qs(parsed.query)
         obsv = self.observatory
         route = parsed.path.rstrip("/") or "/"
+        cluster = self.cluster
         if route in ("/", "/health"):
             self._send_json(obsv.health_obj())
         elif route == "/metrics":
-            body = obsv.telemetry.metrics.render_prometheus().encode("utf-8")
-            self._send(200, body, "text/plain; version=0.0.4")
+            rendered = (
+                cluster.render_metrics() if cluster is not None
+                else obsv.telemetry.metrics.render_prometheus()
+            )
+            self._send(200, rendered.encode("utf-8"), "text/plain; version=0.0.4")
+        elif route == "/metrics.json":
+            self._send_json(obsv.telemetry.metrics.snapshot())
         elif route == "/status":
-            self._send_json(obsv.status_obj())
+            self._send_json(
+                cluster.status_obj() if cluster is not None
+                else obsv.status_obj()
+            )
+        elif route == "/trace":
+            self._send_json(obsv.telemetry.tracer.to_chrome_trace())
+        elif route == "/cluster" and cluster is not None:
+            self._send_json(cluster.cluster_obj())
+        elif route.startswith("/control/") and cluster is not None:
+            action = route[len("/control/"):]
+            self._send_json(cluster.control(action, query))
         elif route == "/alarms":
             self._send_json(obsv.alarms_obj(
                 tail=_query_int(query, "tail"),
@@ -112,10 +138,13 @@ class OpsServer:
         observatory: Observatory,
         host: str = "127.0.0.1",
         port: int = 0,
+        cluster=None,
     ) -> None:
         self.observatory = observatory
+        self.cluster = cluster
         handler = type("BoundOpsHandler", (_OpsHandler,), {
             "observatory": observatory,
+            "cluster": cluster,
         })
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True

@@ -3,12 +3,16 @@
 Replaces the paper's ZeroC ICE deployment.  TCP transport
 (:class:`RpcServer`/:class:`RpcClient`) for online production use; the
 in-process channel (:class:`InprocChannel`) for simulation, encoding
-every frame identically so byte accounting matches the wire.
+every frame identically so byte accounting matches the wire.  Every
+frame may carry a :class:`TraceContext`, so one logical operation (a
+collection poll and the analysis it feeds) stitches into a single
+cross-process trace.
 """
 
 from .client import RpcClient
 from .daemons import (
     LOG_PARSER_LAG_S,
+    ClusterNodeDaemon,
     HadoopLogDaemon,
     ObservatoryDaemon,
     SadcDaemon,
@@ -23,19 +27,24 @@ from .protocol import (
     ByteCounter,
     ProtocolError,
     RemoteError,
+    TraceContext,
     decode_frame,
     encode_frame,
+    frame_trace,
     make_error,
     make_hello,
     make_request,
     make_response,
     make_welcome,
+    max_frame_bytes,
+    set_max_frame_bytes,
     wire_bytes,
 )
 from .server import RpcServer, dispatch, handler_methods
 
 __all__ = [
     "ByteCounter",
+    "ClusterNodeDaemon",
     "HadoopLogDaemon",
     "InprocChannel",
     "LOG_PARSER_LAG_S",
@@ -49,15 +58,19 @@ __all__ = [
     "SEGMENT_PAYLOAD_BYTES",
     "SadcDaemon",
     "TCP_HANDSHAKE_WIRE_BYTES",
+    "TraceContext",
     "WIRE_HEADER_BYTES",
     "decode_frame",
     "dispatch",
     "encode_frame",
+    "frame_trace",
     "handler_methods",
     "make_error",
     "make_hello",
     "make_request",
     "make_response",
     "make_welcome",
+    "max_frame_bytes",
+    "set_max_frame_bytes",
     "wire_bytes",
 ]

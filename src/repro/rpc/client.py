@@ -4,80 +4,176 @@ One client per monitored daemon, mirroring the paper's deployment: the
 ASDF control node holds a connection to every slave's ``sadc_rpcd`` and
 ``hadoop_log_rpcd``.  All traffic is byte-counted so the Table 4
 bandwidth reproduction can read the numbers straight off the client.
+
+Cluster mode extends the client with *reconnect* (the central analysis
+daemon survives a collection daemon being killed and respawned -- the
+counter keeps accumulating across connections), *trace propagation*
+(``call(..., trace=ctx)`` stamps the request frame with the caller's
+:class:`~repro.rpc.protocol.TraceContext` and records a client-side
+span), and *peer-labelled* protocol errors so a malformed frame is
+attributable to a concrete remote address in cluster logs.
 """
 
 from __future__ import annotations
 
 import itertools
 import socket
-from typing import Any, Dict, List, Tuple
+import struct
+import time
+from typing import Any, Dict, List, Optional, Tuple
 
 from .protocol import (
     ByteCounter,
     ProtocolError,
     RemoteError,
+    TraceContext,
     decode_frame,
     encode_frame,
     make_hello,
     make_request,
+    wire_bytes,
 )
+
+_LENGTH = struct.Struct(">I")
 
 
 class RpcClient:
     """Synchronous request/response client over one TCP connection."""
 
-    def __init__(self, host: str, port: int, client_name: str = "asdf") -> None:
+    def __init__(self, host: str, port: int, client_name: str = "asdf",
+                 telemetry: Any = None, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.client_name = client_name
+        self.telemetry = telemetry
+        self.timeout = timeout
         self.counter = ByteCounter()
+        self.reconnects = 0
         self._ids = itertools.count(1)
-        self._sock = socket.create_connection((host, port), timeout=30.0)
+        self._sock: Optional[socket.socket] = None
+        self._connect()
+
+    @property
+    def peer(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
         self.counter.count_handshake()
-        hello = encode_frame(make_hello(client_name))
+        hello = encode_frame(make_hello(self.client_name), peer=self.peer)
         self._sock.sendall(hello)
         self.counter.count_tx(len(hello), static=True)
         welcome, consumed = self._read_frame()
         self.counter.count_rx(consumed, static=True)
         if "welcome" not in welcome:
-            raise ProtocolError(f"expected welcome, got {welcome!r}")
+            raise ProtocolError(f"expected welcome, got {welcome!r} (peer {self.peer})")
         self.service: str = welcome["welcome"]
         self.methods: List[str] = list(welcome.get("methods", []))
 
+    def reconnect(self, retries: int = 10, delay_s: float = 0.25) -> None:
+        """Drop the connection and re-establish it, retrying briefly.
+
+        Used after a collection daemon is killed and respawned: the new
+        process listens on the same published address a moment later, so
+        a short retry loop bridges the gap.  Byte counters accumulate
+        across connections (each reconnect adds another handshake's
+        static overhead, exactly as a real redeployment would).
+        """
+        self.close()
+        last_error: Optional[Exception] = None
+        for attempt in range(max(1, retries)):
+            try:
+                self._connect()
+            except (OSError, ProtocolError) as exc:
+                last_error = exc
+                time.sleep(delay_s * (attempt + 1))
+            else:
+                self.reconnects += 1
+                return
+        raise ProtocolError(
+            f"reconnect failed after {retries} attempts (peer {self.peer}): "
+            f"{last_error}"
+        )
+
     def _read_frame(self) -> Tuple[Dict[str, Any], int]:
+        if self._sock is None:
+            raise ProtocolError(f"client not connected (peer {self.peer})")
         header = b""
-        while len(header) < 4:
-            chunk = self._sock.recv(4 - len(header))
+        while len(header) < _LENGTH.size:
+            chunk = self._sock.recv(_LENGTH.size - len(header))
             if not chunk:
-                raise ProtocolError("connection closed before frame")
+                raise ProtocolError(
+                    f"connection closed before frame (peer {self.peer})"
+                )
             header += chunk
-        (length,) = __import__("struct").unpack(">I", header)
+        (length,) = _LENGTH.unpack(header)
         body = b""
         while len(body) < length:
             chunk = self._sock.recv(min(65536, length - len(body)))
             if not chunk:
-                raise ProtocolError("connection closed mid-frame")
+                raise ProtocolError(
+                    f"connection closed mid-frame (peer {self.peer})"
+                )
             body += chunk
-        return decode_frame(header + body)
+        return decode_frame(header + body, peer=self.peer)
 
-    def call(self, method: str, **params: Any) -> Any:
-        """Invoke ``method`` on the remote handler and return its result."""
+    def call(self, method: str, trace: Optional[TraceContext] = None,
+             **params: Any) -> Any:
+        """Invoke ``method`` on the remote handler and return its result.
+
+        ``trace``, when given, is carried in the request frame so the
+        serving daemon's span lands in the same cross-process trace; a
+        client-side span covering the full round-trip is recorded on
+        this client's telemetry tracer.
+        """
+        if self._sock is None:
+            raise ProtocolError(f"client is closed (peer {self.peer})")
         request_id = next(self._ids)
-        frame = encode_frame(make_request(request_id, method, params))
+        frame = encode_frame(
+            make_request(request_id, method, params, trace=trace),
+            peer=self.peer,
+        )
+        started = time.perf_counter()
         self._sock.sendall(frame)
         self.counter.count_tx(len(frame))
         response, consumed = self._read_frame()
+        duration = time.perf_counter() - started
         self.counter.count_rx(consumed)
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.record_rpc(
+                self.service, wire_bytes(len(frame)), wire_bytes(consumed)
+            )
+            telemetry.record_rpc_endpoint(
+                f"client:{self.service}", self.counter
+            )
+            if telemetry.tracer.enabled:
+                args: Dict[str, Any] = {"method": method, "peer": self.peer}
+                if trace is not None:
+                    args.update(trace.span_args())
+                telemetry.tracer.complete(
+                    f"rpc.call:{method}", "rpc", started, duration,
+                    track=f"rpc:{self.service}", **args,
+                )
         if response.get("id") != request_id:
             raise ProtocolError(
                 f"response id {response.get('id')} != request id {request_id}"
+                f" (peer {self.peer})"
             )
         if "error" in response:
             raise RemoteError(response["error"])
         return response.get("result")
 
     def close(self) -> None:
+        if self._sock is None:
+            return
         try:
             self._sock.close()
         except OSError:
             pass
+        self._sock = None
 
     def __enter__(self) -> "RpcClient":
         return self

@@ -11,6 +11,7 @@ Both daemons keep a running account of the CPU time they consume
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Any, Dict, List, Optional
 
@@ -174,6 +175,73 @@ class ObservatoryDaemon:
         """The Prometheus text exposition, for scrape-by-proxy setups."""
         with self.meter:
             return self.observatory.telemetry.metrics.render_prometheus()
+
+
+class ClusterNodeDaemon:
+    """Per-node collection daemon for the live cluster deployment.
+
+    One real OS process per simulated node (``repro cluster up``): a
+    synthetic load generator advances the node's :class:`SimProcFS`
+    counters to *wall-clock* time on every poll, and the sadc sampler
+    differences the snapshots -- so the whole collect path (load ->
+    ``/proc`` counters -> sadc rates -> RPC frame) runs at real speed
+    over real sockets.  ``load`` is duck-typed (see
+    :class:`repro.cluster.load.SyntheticNodeLoad`): it must expose
+    ``procfs``, ``advance_to(wall_s)``, ``inject(kind, intensity)``,
+    ``clear()`` and ``active_fault``.
+    """
+
+    def __init__(self, node: str, load: Any) -> None:
+        self.node = node
+        self.load = load
+        self._sadc = Sadc(load.procfs)
+        self.meter = _CpuMeter()
+        self.samples_served = 0
+
+    def rpc_sample(self, now: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """One wall-clock collection iteration; ``None`` while priming.
+
+        ``now`` defaults to the daemon's own wall clock; the central
+        poller passes its clock so both ends agree on the nominal
+        timestamp.  ``emit_wall`` stamps the instant the sample left the
+        handler, which is what end-to-end alarm latency measures against.
+        """
+        with self.meter:
+            ts = float(now) if now is not None else time.time()
+            self.load.advance_to(ts)
+            sample = self._sadc.collect(ts)
+            if sample is None:
+                return None
+            self.samples_served += 1
+            return {
+                "timestamp": sample.timestamp,
+                "node_name": self.node,
+                "node": sample.node,
+                "emit_wall": time.time(),
+            }
+
+    def rpc_inject(self, kind: str, intensity: float = 1.0) -> Dict[str, Any]:
+        """Start perturbing this node's synthetic load (cpuhog/diskhog)."""
+        with self.meter:
+            self.load.inject(kind, float(intensity))
+            return {"node": self.node, "fault": kind}
+
+    def rpc_clear(self) -> Dict[str, Any]:
+        """Stop any active perturbation."""
+        with self.meter:
+            self.load.clear()
+            return {"node": self.node, "fault": None}
+
+    def rpc_info(self) -> Dict[str, Any]:
+        """Identity + counters, served to the federator's /cluster view."""
+        with self.meter:
+            return {
+                "node": self.node,
+                "pid": os.getpid(),
+                "samples_served": self.samples_served,
+                "cpu_seconds": self.meter.cpu_seconds,
+                "fault": self.load.active_fault,
+            }
 
 
 class StraceDaemon:

@@ -10,13 +10,16 @@ are the same regardless of transport -- only the kernel is skipped.
 from __future__ import annotations
 
 import itertools
-from typing import Any, List
+import time
+from typing import Any, List, Optional
 
 from .protocol import (
     ByteCounter,
     RemoteError,
+    TraceContext,
     decode_frame,
     encode_frame,
+    frame_trace,
     make_hello,
     make_request,
     make_welcome,
@@ -51,21 +54,42 @@ class InprocChannel:
         if telemetry is not None and telemetry.enabled:
             telemetry.record_rpc(service, self.counter.tx_wire, self.counter.rx_wire)
 
-    def call(self, method: str, **params: Any) -> Any:
+    def call(self, method: str, trace: Optional[TraceContext] = None,
+             **params: Any) -> Any:
         request_id = next(self._ids)
         tx_before, rx_before = self.counter.tx_wire, self.counter.rx_wire
-        frame = encode_frame(make_request(request_id, method, params))
+        frame = encode_frame(make_request(request_id, method, params, trace=trace))
         self.counter.count_tx(len(frame))
         request, _ = decode_frame(frame)
-        response_frame = encode_frame(dispatch(self.handler, request))
+        incoming = frame_trace(request)
+        serve_trace = (
+            incoming.child(origin=f"{self.service}@inproc")
+            if incoming is not None else None
+        )
+        started = time.perf_counter()
+        response_frame = encode_frame(
+            dispatch(self.handler, request, trace=serve_trace)
+        )
+        duration = time.perf_counter() - started
         response, consumed = decode_frame(response_frame)
         self.counter.count_rx(consumed)
+        telemetry = self.telemetry
+        if (telemetry is not None and telemetry.enabled
+                and telemetry.tracer.enabled and serve_trace is not None):
+            telemetry.tracer.complete(
+                f"rpc.serve:{method}", "rpc", started, duration,
+                track=f"rpc:{self.service}", method=method,
+                **serve_trace.span_args(),
+            )
         telemetry = self.telemetry
         if telemetry is not None and telemetry.enabled:
             telemetry.record_rpc(
                 self.service,
                 self.counter.tx_wire - tx_before,
                 self.counter.rx_wire - rx_before,
+            )
+            telemetry.record_rpc_endpoint(
+                f"inproc:{self.service}", self.counter
             )
         if "error" in response:
             raise RemoteError(response["error"])

@@ -8,24 +8,36 @@ reports exactly those numbers: static connection overhead and
 per-iteration bandwidth per RPC type.
 
 Framing: 4-byte big-endian payload length, then the JSON payload.
-Requests carry ``{"id", "method", "params"}``; responses carry
-``{"id", "result"}`` or ``{"id", "error"}``.  A connection starts with a
-hello/welcome exchange (protocol version + advertised methods), which is
-what the static-overhead column of Table 4 measures.
+Requests carry ``{"id", "method", "params"}`` and optionally a
+``"trace"`` object (cross-process trace context, see
+:class:`TraceContext`); responses carry ``{"id", "result"}`` or
+``{"id", "error"}`` plus the serving side's trace context when the
+request carried one.  A connection starts with a hello/welcome exchange
+(protocol version + advertised methods), which is what the
+static-overhead column of Table 4 measures.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
 import struct
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 PROTOCOL_VERSION = 1
 
-#: Maximum accepted frame payload, bytes (sanity bound against garbage).
+#: Default maximum accepted frame payload, bytes (sanity bound against
+#: garbage).  The effective limit is :func:`max_frame_bytes`, which
+#: honours the ``ASDF_MAX_FRAME_BYTES`` environment variable and
+#: :func:`set_max_frame_bytes` (the CLI's ``--max-frame-bytes``), so a
+#: cluster deployment can tighten or relax the bound per daemon.
 MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Runtime override installed by :func:`set_max_frame_bytes`; takes
+#: precedence over the environment variable.
+_max_frame_override: Optional[int] = None
 
 _LENGTH = struct.Struct(">I")
 
@@ -49,35 +61,87 @@ class RemoteError(Exception):
     """The remote handler raised; message carries the remote detail."""
 
 
-def encode_frame(payload: Dict[str, Any]) -> bytes:
-    """Serialize one message to its framed wire form."""
+def max_frame_bytes() -> int:
+    """The effective frame-size limit for this process.
+
+    Resolution order: :func:`set_max_frame_bytes` override, then the
+    ``ASDF_MAX_FRAME_BYTES`` environment variable, then the baked-in
+    :data:`MAX_FRAME_BYTES` default.
+    """
+    if _max_frame_override is not None:
+        return _max_frame_override
+    env = os.environ.get("ASDF_MAX_FRAME_BYTES")
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            return MAX_FRAME_BYTES
+        if value > 0:
+            return value
+    return MAX_FRAME_BYTES
+
+
+def set_max_frame_bytes(limit: Optional[int]) -> None:
+    """Install (or clear with ``None``) a process-wide frame-size limit."""
+    global _max_frame_override
+    _max_frame_override = int(limit) if limit is not None else None
+
+
+def _peer_suffix(peer: str) -> str:
+    return f" (peer {peer})" if peer else ""
+
+
+def encode_frame(payload: Dict[str, Any], peer: str = "") -> bytes:
+    """Serialize one message to its framed wire form.
+
+    ``peer``, when given, names the remote endpoint in error messages so
+    oversized-frame kills are attributable in cluster logs.
+    """
     body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
-    if len(body) > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame too large: {len(body)} bytes")
+    limit = max_frame_bytes()
+    if len(body) > limit:
+        raise ProtocolError(
+            f"frame too large: {len(body)} bytes > limit {limit}"
+            f"{_peer_suffix(peer)}"
+        )
     return _LENGTH.pack(len(body)) + body
 
 
-def decode_frame(data: bytes) -> Tuple[Dict[str, Any], int]:
+def decode_frame(data: bytes, peer: str = "") -> Tuple[Dict[str, Any], int]:
     """Decode one frame from the head of ``data``.
 
     Returns (payload, total_bytes_consumed).  Raises
     :class:`ProtocolError` on malformed input; raises ``IndexError``-like
-    short reads as ProtocolError too.
+    short reads as ProtocolError too.  ``peer`` labels the remote
+    endpoint in error messages.
     """
     if len(data) < _LENGTH.size:
-        raise ProtocolError("short frame: missing length prefix")
+        raise ProtocolError(
+            f"short frame: missing length prefix{_peer_suffix(peer)}"
+        )
     (length,) = _LENGTH.unpack_from(data)
-    if length > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame length {length} exceeds maximum")
+    limit = max_frame_bytes()
+    if length > limit:
+        raise ProtocolError(
+            f"frame length {length} exceeds maximum {limit}"
+            f"{_peer_suffix(peer)}"
+        )
     end = _LENGTH.size + length
     if len(data) < end:
-        raise ProtocolError(f"short frame: need {end} bytes, have {len(data)}")
+        raise ProtocolError(
+            f"short frame: need {end} bytes, have {len(data)}"
+            f"{_peer_suffix(peer)}"
+        )
     try:
         payload = json.loads(data[_LENGTH.size:end].decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise ProtocolError(f"bad frame payload: {exc}") from exc
+        raise ProtocolError(
+            f"bad frame payload: {exc}{_peer_suffix(peer)}"
+        ) from exc
     if not isinstance(payload, dict):
-        raise ProtocolError("frame payload must be a JSON object")
+        raise ProtocolError(
+            f"frame payload must be a JSON object{_peer_suffix(peer)}"
+        )
     return payload, end
 
 
@@ -89,16 +153,112 @@ def wire_bytes(application_bytes: int) -> int:
     return application_bytes + segments * WIRE_HEADER_BYTES
 
 
-def make_request(request_id: int, method: str, params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-    return {"id": request_id, "method": method, "params": params or {}}
+def _new_id(nbytes: int = 8) -> str:
+    """A fresh random identifier (hex).  Trace identity, not simulation
+    state: cluster runs stitch traces by these ids across real
+    processes, so they must be unique per process, never replayed."""
+    return os.urandom(nbytes).hex()
 
 
-def make_response(request_id: int, result: Any) -> Dict[str, Any]:
-    return {"id": request_id, "result": result}
+@dataclass(frozen=True)
+class TraceContext:
+    """Cross-process trace context carried in every RPC frame.
+
+    ``trace_id`` groups all spans of one logical operation (e.g. one
+    collection round and the alarm it triggers); ``span_id`` identifies
+    the current span; ``parent_id`` links to the caller's span; and
+    ``origin`` names the daemon that created this context
+    (``"<role>@pid<pid>"``), so a stitched timeline shows which real
+    process each hop ran in.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+    origin: str = ""
+
+    @classmethod
+    def new_root(cls, origin: str = "") -> "TraceContext":
+        return cls(trace_id=_new_id(), span_id=_new_id(4), origin=origin)
+
+    def child(self, origin: str = "") -> "TraceContext":
+        """A child context: same trace, new span, parented to this one."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=_new_id(4),
+            parent_id=self.span_id,
+            origin=origin or self.origin,
+        )
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire: Dict[str, Any] = {"id": self.trace_id, "span": self.span_id}
+        if self.parent_id is not None:
+            wire["parent"] = self.parent_id
+        if self.origin:
+            wire["origin"] = self.origin
+        return wire
+
+    @classmethod
+    def from_wire(cls, obj: Any) -> Optional["TraceContext"]:
+        """Parse a wire trace object; ``None`` on anything malformed."""
+        if not isinstance(obj, dict):
+            return None
+        trace_id = obj.get("id")
+        span_id = obj.get("span")
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            return None
+        parent = obj.get("parent")
+        origin = obj.get("origin")
+        return cls(
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent if isinstance(parent, str) else None,
+            origin=origin if isinstance(origin, str) else "",
+        )
+
+    def span_args(self) -> Dict[str, Any]:
+        """The trace identity as span args, for tracer recording."""
+        args: Dict[str, Any] = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.parent_id is not None:
+            args["parent_id"] = self.parent_id
+        if self.origin:
+            args["origin"] = self.origin
+        return args
 
 
-def make_error(request_id: int, message: str) -> Dict[str, Any]:
-    return {"id": request_id, "error": message}
+def frame_trace(payload: Dict[str, Any]) -> Optional[TraceContext]:
+    """Extract the trace context of a decoded frame, if any."""
+    return TraceContext.from_wire(payload.get("trace"))
+
+
+def make_request(
+    request_id: int,
+    method: str,
+    params: Optional[Dict[str, Any]] = None,
+    trace: Optional[TraceContext] = None,
+) -> Dict[str, Any]:
+    frame: Dict[str, Any] = {"id": request_id, "method": method, "params": params or {}}
+    if trace is not None:
+        frame["trace"] = trace.to_wire()
+    return frame
+
+
+def make_response(
+    request_id: int, result: Any, trace: Optional[TraceContext] = None
+) -> Dict[str, Any]:
+    frame: Dict[str, Any] = {"id": request_id, "result": result}
+    if trace is not None:
+        frame["trace"] = trace.to_wire()
+    return frame
+
+
+def make_error(
+    request_id: int, message: str, trace: Optional[TraceContext] = None
+) -> Dict[str, Any]:
+    frame: Dict[str, Any] = {"id": request_id, "error": message}
+    if trace is not None:
+        frame["trace"] = trace.to_wire()
+    return frame
 
 
 def make_hello(client_name: str) -> Dict[str, Any]:

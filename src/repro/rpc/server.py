@@ -9,24 +9,38 @@ Used by the production-mode deployment (``sadc_rpcd`` /
 ``hadoop_log_rpcd`` per monitored node); simulation-mode experiments use
 :class:`repro.rpc.inproc.InprocChannel` instead, which shares this
 dispatch logic without sockets.
+
+When a request frame carries a trace context, the server derives a
+child context (same trace_id, new span parented to the caller's),
+records a serving-side span on its telemetry tracer, and echoes the
+child context in the response -- this is how a poll issued by the
+central analysis daemon and the sampling work done in a collection
+daemon stitch into one cross-process trace.
 """
 
 from __future__ import annotations
 
 import socket
 import socketserver
+import struct
 import threading
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from .protocol import (
     ByteCounter,
     ProtocolError,
+    TraceContext,
     decode_frame,
     encode_frame,
+    frame_trace,
     make_error,
     make_response,
     make_welcome,
+    wire_bytes,
 )
+
+_LENGTH = struct.Struct(">I")
 
 
 def handler_methods(handler: Any) -> List[str]:
@@ -38,61 +52,80 @@ def handler_methods(handler: Any) -> List[str]:
     )
 
 
-def dispatch(handler: Any, payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Route one decoded request to the handler; never raises."""
+def dispatch(handler: Any, payload: Dict[str, Any],
+             trace: Optional[TraceContext] = None) -> Dict[str, Any]:
+    """Route one decoded request to the handler; never raises.
+
+    ``trace`` is the serving side's trace context (already a child of
+    the request's, when the request carried one); it is echoed in the
+    response frame so the caller can confirm the hop joined its trace.
+    """
     request_id = payload.get("id", -1)
     method = payload.get("method")
     if not isinstance(method, str):
-        return make_error(request_id, "request missing method name")
+        return make_error(request_id, "request missing method name", trace=trace)
     target = getattr(handler, f"rpc_{method}", None)
     if target is None or not callable(target):
-        return make_error(request_id, f"no such method: {method}")
+        return make_error(request_id, f"no such method: {method}", trace=trace)
     params = payload.get("params") or {}
     if not isinstance(params, dict):
-        return make_error(request_id, "params must be an object")
+        return make_error(request_id, "params must be an object", trace=trace)
     try:
         result = target(**params)
     except TypeError as exc:
-        return make_error(request_id, f"bad parameters for {method}: {exc}")
+        return make_error(request_id, f"bad parameters for {method}: {exc}",
+                          trace=trace)
     except Exception as exc:  # noqa: BLE001 - reported to the caller
-        return make_error(request_id, f"{type(exc).__name__}: {exc}")
-    return make_response(request_id, result)
+        return make_error(request_id, f"{type(exc).__name__}: {exc}", trace=trace)
+    return make_response(request_id, result, trace=trace)
 
 
-def _read_frame(sock: socket.socket) -> Optional[Tuple[Dict[str, Any], int]]:
+def _read_frame(sock: socket.socket,
+                peer: str = "") -> Optional[Tuple[Dict[str, Any], int]]:
     """Read one full frame from a socket; None on orderly EOF."""
     header = b""
-    while len(header) < 4:
-        chunk = sock.recv(4 - len(header))
+    while len(header) < _LENGTH.size:
+        chunk = sock.recv(_LENGTH.size - len(header))
         if not chunk:
             return None
         header += chunk
-    (length,) = __import__("struct").unpack(">I", header)
+    (length,) = _LENGTH.unpack(header)
     body = b""
     while len(body) < length:
         chunk = sock.recv(min(65536, length - len(body)))
         if not chunk:
-            raise ProtocolError("connection closed mid-frame")
+            raise ProtocolError(
+                f"connection closed mid-frame{f' (peer {peer})' if peer else ''}"
+            )
         body += chunk
-    payload, consumed = decode_frame(header + body)
+    payload, consumed = decode_frame(header + body, peer=peer)
     return payload, consumed
 
 
 class RpcServer:
-    """A TCP server bound to localhost serving one handler object."""
+    """A TCP server bound to localhost serving one handler object.
 
-    def __init__(self, handler: Any, service: str, port: int = 0) -> None:
+    ``telemetry``, when given and enabled, receives per-request wire
+    bytes (``asdf_rpc_wire_bytes_total``), running payload totals
+    (``asdf_rpc_bytes_{sent,received}_total`` under role
+    ``server:<service>``) and a serving-side span per request.
+    """
+
+    def __init__(self, handler: Any, service: str, port: int = 0,
+                 telemetry: Any = None) -> None:
         self.handler = handler
         self.service = service
         self.counter = ByteCounter()
+        self.telemetry = telemetry
         outer = self
 
         class _ConnectionHandler(socketserver.BaseRequestHandler):
             def handle(self) -> None:  # noqa: D401 - socketserver API
                 sock: socket.socket = self.request
+                peer = "%s:%s" % self.client_address[:2]
                 outer.counter.count_handshake()
                 try:
-                    first = _read_frame(sock)
+                    first = _read_frame(sock, peer=peer)
                     if first is None:
                         return
                     hello, consumed = first
@@ -100,19 +133,23 @@ class RpcServer:
                     if "hello" not in hello:
                         return
                     welcome = encode_frame(
-                        make_welcome(outer.service, handler_methods(outer.handler))
+                        make_welcome(outer.service, handler_methods(outer.handler)),
+                        peer=peer,
                     )
                     sock.sendall(welcome)
                     outer.counter.count_tx(len(welcome), static=True)
                     while True:
-                        frame = _read_frame(sock)
+                        frame = _read_frame(sock, peer=peer)
                         if frame is None:
                             return
                         payload, consumed = frame
                         outer.counter.count_rx(consumed)
-                        response = encode_frame(dispatch(outer.handler, payload))
+                        response = encode_frame(
+                            outer._serve(payload, peer), peer=peer
+                        )
                         sock.sendall(response)
                         outer.counter.count_tx(len(response))
+                        outer._account(consumed, len(response))
                 except (ProtocolError, ConnectionError, OSError):
                     return
 
@@ -122,6 +159,39 @@ class RpcServer:
 
         self._server = _Server(("127.0.0.1", port), _ConnectionHandler)
         self._thread: Optional[threading.Thread] = None
+
+    def _serve(self, payload: Dict[str, Any], peer: str) -> Dict[str, Any]:
+        """Dispatch one request, joining the caller's trace if present."""
+        incoming = frame_trace(payload)
+        serve_trace = (
+            incoming.child(origin=f"{self.service}@srv")
+            if incoming is not None else None
+        )
+        started = time.perf_counter()
+        response = dispatch(self.handler, payload, trace=serve_trace)
+        duration = time.perf_counter() - started
+        telemetry = self.telemetry
+        if (telemetry is not None and telemetry.enabled
+                and telemetry.tracer.enabled):
+            args: Dict[str, Any] = {
+                "method": payload.get("method", "?"), "peer": peer,
+            }
+            if serve_trace is not None:
+                args.update(serve_trace.span_args())
+            telemetry.tracer.complete(
+                f"rpc.serve:{payload.get('method', '?')}", "rpc",
+                started, duration, track=f"rpc:{self.service}", **args,
+            )
+        return response
+
+    def _account(self, rx_bytes: int, tx_bytes: int) -> None:
+        telemetry = self.telemetry
+        if telemetry is None or not telemetry.enabled:
+            return
+        telemetry.record_rpc(
+            self.service, wire_bytes(tx_bytes), wire_bytes(rx_bytes)
+        )
+        telemetry.record_rpc_endpoint(f"server:{self.service}", self.counter)
 
     @property
     def address(self) -> Tuple[str, int]:

@@ -26,7 +26,13 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
-from .tracing import NULL_TRACER, TraceEvent, Tracer
+from .tracing import (
+    NULL_TRACER,
+    TraceEvent,
+    Tracer,
+    pids_by_trace_id,
+    stitch_chrome_traces,
+)
 
 __all__ = [
     "AlarmAuditTrail",
@@ -42,4 +48,6 @@ __all__ = [
     "Telemetry",
     "TraceEvent",
     "Tracer",
+    "pids_by_trace_id",
+    "stitch_chrome_traces",
 ]

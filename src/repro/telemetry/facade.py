@@ -26,6 +26,8 @@ family                                    type       labels
 ``fpt_output_skipped_total``              gauge      ``output``
 ``asdf_rpc_wire_bytes_total``             counter    ``service``, ``direction``
 ``asdf_rpc_messages_total``               counter    ``service``, ``direction``
+``asdf_rpc_bytes_sent_total``             gauge      ``role``
+``asdf_rpc_bytes_received_total``         gauge      ``role``
 ``asdf_experiment_task_wall_seconds``     histogram  --
 ``asdf_experiment_task_cpu_seconds``      histogram  --
 ``asdf_experiment_tasks_total``           counter    ``worker``
@@ -98,6 +100,7 @@ class Telemetry:
         self._latency_cache: Dict[str, Histogram] = {}
         self._output_cache: Dict[str, tuple] = {}
         self._rpc_cache: Dict[str, tuple] = {}
+        self._endpoint_cache: Dict[str, tuple] = {}
         self._drain_hist: Optional[Histogram] = None
         self._lag_hist: Optional[Histogram] = None
         self._task_metrics: Optional[tuple] = None
@@ -314,6 +317,34 @@ class Telemetry:
         tx.inc(tx_wire)
         rx.inc(rx_wire)
         messages.inc()
+
+    def record_rpc_endpoint(self, role: str, counter) -> None:
+        """Publish one endpoint's :class:`ByteCounter` running totals.
+
+        ``role`` names the connection endpoint (e.g. ``client:node-03``
+        or ``server:central``); the gauges track the counter's
+        application-payload totals so ``/metrics`` shows live rpc bytes
+        in/out per connection, not just per-call wire estimates.
+        """
+        cached = self._endpoint_cache.get(role)
+        if cached is None:
+            labels = {"role": role}
+            cached = (
+                self.metrics.gauge(
+                    "asdf_rpc_bytes_sent_total",
+                    "Application payload bytes sent per connection role.",
+                    labels,
+                ),
+                self.metrics.gauge(
+                    "asdf_rpc_bytes_received_total",
+                    "Application payload bytes received per connection role.",
+                    labels,
+                ),
+            )
+            self._endpoint_cache[role] = cached
+        sent, received = cached
+        sent.set(float(counter.tx_payload))
+        received.set(float(counter.rx_payload))
 
     # -- derived views -------------------------------------------------------
 

@@ -18,6 +18,15 @@ usage costs almost nothing.
 Timestamps are wall-clock (``time.perf_counter``) because trace viewers
 want real durations; the simulated fpt-core timestamp travels in each
 event's ``args`` so simulated and real time can be correlated.
+
+Cluster mode adds *remote-span stitching*: every tracer knows its OS pid,
+a process name and a ``time.time()`` epoch anchor captured at the same
+instant as its ``perf_counter`` epoch.  :func:`stitch_chrome_traces`
+merges the Chrome-trace exports of several daemons into one timeline by
+offsetting each document onto the shared wall clock, keyed by pid, so a
+sample span in a collection daemon and the alarm span in the central
+analysis daemon render as one cross-process trace (correlated by the
+``trace_id`` each span carries in its args).
 """
 
 from __future__ import annotations
@@ -26,9 +35,15 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, Iterable, List, Sequence, Set
 
-__all__ = ["TraceEvent", "Tracer", "NULL_TRACER"]
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "NULL_TRACER",
+    "stitch_chrome_traces",
+    "pids_by_trace_id",
+]
 
 #: Events recorded beyond this cap are counted but dropped, bounding the
 #: memory of very long traced runs.  2^20 events is ~45 minutes of a
@@ -48,13 +63,13 @@ class TraceEvent:
     track: str            # rendered as the event's thread (swimlane)
     args: Dict[str, Any] = field(default_factory=dict)
 
-    def to_chrome(self) -> dict:
+    def to_chrome(self, pid: int = 1) -> dict:
         event = {
             "name": self.name,
             "cat": self.category or "default",
             "ph": self.phase,
             "ts": round(self.start_s * 1e6, 3),   # microseconds
-            "pid": 1,
+            "pid": pid,
             "tid": self.track,
             "args": self.args,
         }
@@ -128,12 +143,19 @@ class Tracer:
     """In-memory trace recorder with JSONL and Chrome exports."""
 
     def __init__(self, enabled: bool = True,
-                 max_events: int = DEFAULT_MAX_EVENTS) -> None:
+                 max_events: int = DEFAULT_MAX_EVENTS,
+                 process_name: str = "") -> None:
         self.enabled = enabled
         self.max_events = max_events
         self.events: List[TraceEvent] = []
         self.dropped = 0
+        # The two epochs are read back-to-back so wall_epoch anchors the
+        # perf_counter timeline on the shared wall clock -- this is what
+        # lets stitch_chrome_traces align documents across processes.
         self._epoch = time.perf_counter()
+        self.wall_epoch = time.time()
+        self.pid = os.getpid()
+        self.process_name = process_name or f"pid{self.pid}"
 
     # -- recording -----------------------------------------------------------
 
@@ -189,11 +211,14 @@ class Tracer:
     def to_chrome_trace(self) -> dict:
         """The ``chrome://tracing`` / Perfetto JSON document."""
         return {
-            "traceEvents": [event.to_chrome() for event in self.events],
+            "traceEvents": [event.to_chrome(self.pid) for event in self.events],
             "displayTimeUnit": "ms",
             "otherData": {
                 "producer": "repro.telemetry",
                 "droppedEvents": self.dropped,
+                "pid": self.pid,
+                "processName": self.process_name,
+                "wallEpoch": self.wall_epoch,
             },
         }
 
@@ -214,6 +239,77 @@ class Tracer:
         os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(self.render_jsonl())
+
+
+# -- remote-span stitching ----------------------------------------------------
+
+
+def stitch_chrome_traces(docs: Sequence[dict]) -> dict:
+    """Merge several daemons' Chrome-trace exports into one timeline.
+
+    Each document's events are offset onto the shared wall clock using
+    its ``otherData.wallEpoch`` anchor (the earliest anchor becomes
+    t=0), keeping each document's pid so the merged view renders one
+    swimlane group per real process.  Metadata events name each process.
+    Documents without an anchor (pre-cluster exports) are merged at
+    offset 0.
+    """
+    anchors = [
+        doc.get("otherData", {}).get("wallEpoch")
+        for doc in docs
+    ]
+    known = [a for a in anchors if isinstance(a, (int, float))]
+    base = min(known) if known else 0.0
+    metadata: List[dict] = []
+    events: List[dict] = []
+    for doc, anchor in zip(docs, anchors):
+        other = doc.get("otherData", {})
+        pid = other.get("pid", 1)
+        name = other.get("processName") or f"pid{pid}"
+        offset_us = (
+            (anchor - base) * 1e6 if isinstance(anchor, (int, float)) else 0.0
+        )
+        metadata.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": name},
+        })
+        for event in doc.get("traceEvents", []):
+            merged = dict(event)
+            merged["pid"] = pid
+            merged["ts"] = round(float(event.get("ts", 0.0)) + offset_us, 3)
+            events.append(merged)
+    events.sort(key=lambda e: e["ts"])
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.telemetry.stitch",
+            "processes": len(docs),
+            "wallEpochBase": base,
+        },
+    }
+
+
+def pids_by_trace_id(doc: dict) -> Dict[str, Set[int]]:
+    """Which pids contributed spans to each trace_id of a document.
+
+    Reads the ``trace_id`` each RPC span carries in its args; the
+    cluster bench asserts at least one trace spans >= 2 distinct pids,
+    i.e. remote stitching actually crossed a process boundary.
+    """
+    out: Dict[str, Set[int]] = {}
+    events: Iterable[dict] = doc.get("traceEvents", [])
+    for event in events:
+        args = event.get("args")
+        if not isinstance(args, dict):
+            continue
+        trace_id = args.get("trace_id")
+        if isinstance(trace_id, str):
+            out.setdefault(trace_id, set()).add(event.get("pid", 1))
+    return out
 
 
 #: Shared disabled tracer; ``span()`` on it returns the shared no-op span.

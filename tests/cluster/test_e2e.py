@@ -1,0 +1,81 @@
+"""End-to-end cluster test: real OS processes, real sockets, one bench.
+
+This is the acceptance test of cluster mode: a 3-daemon deployment plus
+central is spawned as actual subprocesses, driven through the measured
+scenario (sustain, inject, SIGKILL + respawn), and the committed bench
+contract is asserted on the artifact it produces.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.cluster import CLUSTER_BENCH_FORMAT, ClusterLauncher, run_drive
+
+
+@pytest.fixture(scope="module")
+def bench(tmp_path_factory):
+    state_dir = str(tmp_path_factory.mktemp("cluster-state"))
+    out_dir = str(tmp_path_factory.mktemp("cluster-out"))
+    launcher = ClusterLauncher(state_dir, nodes=3, interval_s=0.2)
+    launcher.up()
+    try:
+        assert launcher.wait_ready(timeout_s=60.0), "cluster never published"
+        # The supervisor must run during the drive: it is what respawns
+        # the SIGKILLed daemon.
+        supervisor = threading.Thread(target=launcher.supervise, daemon=True)
+        supervisor.start()
+        result = run_drive(state_dir, out_dir, sustain_s=2.0, shutdown=True)
+        supervisor.join(timeout=30.0)
+        yield result, out_dir
+    finally:
+        launcher.shutdown()
+
+
+class TestClusterBench:
+    def test_artifact_written_and_tagged(self, bench):
+        result, out_dir = bench
+        path = os.path.join(out_dir, "BENCH_cluster.json")
+        with open(path, encoding="utf-8") as fh:
+            on_disk = json.load(fh)
+        assert on_disk["format"] == CLUSTER_BENCH_FORMAT
+        assert on_disk["nodes"] == 3
+        assert result["format"] == CLUSTER_BENCH_FORMAT
+
+    def test_scenario_passed(self, bench):
+        result, _ = bench
+        assert result["failures"] == []
+        assert result["ok"] is True
+
+    def test_sustained_sampling_measured(self, bench):
+        result, _ = bench
+        assert result["samples"]["measured"] > 0
+        assert result["samples"]["per_sec"] > 0
+
+    def test_fault_detected_online(self, bench):
+        result, _ = bench
+        assert result["fault"]["node"] == "node-01"
+        assert result["fault"]["detection_s"] is not None
+        assert result["fault"]["detection_s"] < 30.0
+
+    def test_kill_respawn_reconnect(self, bench):
+        result, _ = bench
+        reconnect = result["reconnect"]
+        assert reconnect["reconnected"] is True
+        assert reconnect["respawned_pid"] != reconnect["killed_pid"]
+        assert reconnect["downtime_s"] < 30.0
+
+    def test_trace_spans_multiple_real_pids(self, bench):
+        result, out_dir = bench
+        assert result["trace"]["multi_pid_traces"] >= 1
+        assert len(result["trace"]["distinct_pids"]) >= 2
+        trace_path = os.path.join(out_dir, "trace_cluster.json")
+        with open(trace_path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        pids = {
+            event["pid"] for event in doc["traceEvents"]
+            if event.get("ph") == "X"
+        }
+        assert len(pids) >= 2

@@ -1,0 +1,76 @@
+"""Runtime-file discovery and the stop-marker protocol."""
+
+import os
+
+from repro.cluster import (
+    DaemonRuntime,
+    list_runtimes,
+    pid_alive,
+    read_runtime,
+    request_stop,
+    stop_requested,
+    write_runtime,
+)
+from repro.cluster.state import runtime_path
+
+
+def make_runtime(name="node-01", role="node", pid=1234):
+    return DaemonRuntime(
+        role=role, name=name, pid=pid, host="127.0.0.1",
+        rpc_port=4000, ops_port=5000, started_wall=100.0,
+    )
+
+
+class TestRuntimeFiles:
+    def test_write_read_round_trip(self, tmp_path):
+        runtime = make_runtime()
+        path = write_runtime(str(tmp_path), runtime)
+        assert path == runtime_path(str(tmp_path), "node-01")
+        assert read_runtime(path) == runtime
+
+    def test_ops_url(self):
+        assert make_runtime().ops_url == "http://127.0.0.1:5000"
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert read_runtime(runtime_path(str(tmp_path), "ghost")) is None
+
+    def test_malformed_file_is_none(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{not json")
+        assert read_runtime(runtime_path(str(tmp_path), "bad")) is None
+
+    def test_write_is_atomic_replace(self, tmp_path):
+        write_runtime(str(tmp_path), make_runtime(pid=1))
+        path = write_runtime(str(tmp_path), make_runtime(pid=2))
+        assert read_runtime(path).pid == 2
+        # No leftover temp files.
+        assert sorted(os.listdir(tmp_path)) == ["node-01.json"]
+
+    def test_list_runtimes_filters_by_role(self, tmp_path):
+        write_runtime(str(tmp_path), make_runtime("node-01", role="node"))
+        write_runtime(str(tmp_path), make_runtime("central", role="central"))
+        assert set(list_runtimes(str(tmp_path))) == {"node-01", "central"}
+        assert set(list_runtimes(str(tmp_path), role="node")) == {"node-01"}
+
+    def test_list_runtimes_empty_dir(self, tmp_path):
+        assert list_runtimes(str(tmp_path / "nope")) == {}
+
+
+class TestPidAlive:
+    def test_own_pid_is_alive(self):
+        assert pid_alive(os.getpid())
+
+    def test_bogus_pid_is_dead(self):
+        # pid_max on Linux cannot exceed 2^22; this pid never exists.
+        assert not pid_alive(2 ** 22 + 12345)
+
+
+class TestStopMarker:
+    def test_request_and_observe(self, tmp_path):
+        assert not stop_requested(str(tmp_path))
+        request_stop(str(tmp_path))
+        assert stop_requested(str(tmp_path))
+
+    def test_request_is_idempotent(self, tmp_path):
+        request_stop(str(tmp_path))
+        request_stop(str(tmp_path))
+        assert stop_requested(str(tmp_path))

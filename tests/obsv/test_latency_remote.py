@@ -1,0 +1,69 @@
+"""Remote-hop accounting in the latency tracer (cluster mode)."""
+
+from repro.analysis.metrics import Alarm
+from repro.obsv.latency import LatencyTracer
+
+
+def make_alarm(node="node-01", via=()):
+    return Alarm(time=10.0, node=node, source="peer-deviation", via=tuple(via))
+
+
+class TestNoteWrites:
+    def test_note_write_stamps_without_ingest(self):
+        tracer = LatencyTracer()
+        tracer.note_write("detect:n1", sim=5.0, wall=1.0)
+        assert tracer.last_write("detect:n1") == (5.0, 1.0)
+        assert tracer.ingest_watermark("detect:n1") is None
+
+    def test_note_remote_write_is_ingest(self):
+        tracer = LatencyTracer()
+        tracer.note_remote_write("collect:n1", sim=5.0, wall=1.0,
+                                 hop_wall_s=0.004)
+        assert tracer.last_write("collect:n1") == (5.0, 1.0)
+        assert tracer.ingest_watermark("collect:n1") == (5.0, 1.0)
+
+    def test_negative_hop_clamped_to_zero(self):
+        # Wall clocks of two hosts can disagree; never report negative
+        # transport time.
+        tracer = LatencyTracer()
+        tracer.note_remote_write("collect:n1", sim=5.0, wall=1.0,
+                                 hop_wall_s=-0.5)
+        record = tracer.record_alarm(
+            make_alarm(via=("collect:n1",)), ("collect:n1",),
+            sim_now=6.0, wall_now=1.5,
+        )
+        assert record.remote_hop_wall_s == 0.0
+
+
+class TestAlarmRecords:
+    def test_remote_hops_summed_over_chain(self):
+        tracer = LatencyTracer()
+        tracer.note_remote_write("collect:n1", sim=5.0, wall=1.0,
+                                 hop_wall_s=0.010)
+        tracer.note_write("detect:n1", sim=5.0, wall=1.2)
+        record = tracer.record_alarm(
+            make_alarm(via=("collect:n1",)), ("collect:n1", "detect:n1"),
+            sim_now=5.0, wall_now=1.3,
+        )
+        assert record.remote_hop_wall_s == 0.010
+        assert record.measured
+        assert record.total_wall_s is not None
+        assert abs(record.total_wall_s - 0.3) < 1e-9
+
+    def test_no_remote_stage_reports_none(self):
+        tracer = LatencyTracer()
+        tracer.note_write("detect:n1", sim=5.0, wall=1.0)
+        record = tracer.record_alarm(
+            make_alarm(via=()), ("detect:n1",), sim_now=5.0, wall_now=1.1,
+        )
+        assert record.remote_hop_wall_s is None
+
+    def test_remote_hop_serialized(self):
+        tracer = LatencyTracer()
+        tracer.note_remote_write("collect:n1", sim=1.0, wall=0.0,
+                                 hop_wall_s=0.002)
+        record = tracer.record_alarm(
+            make_alarm(via=("collect:n1",)), ("collect:n1",),
+            sim_now=1.0, wall_now=0.1,
+        )
+        assert record.to_json_obj()["remote_hop_wall_s"] == 0.002

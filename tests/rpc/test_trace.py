@@ -1,0 +1,110 @@
+"""Trace-context propagation across the RPC boundary."""
+
+from repro.rpc import (
+    InprocChannel,
+    RpcClient,
+    RpcServer,
+    TraceContext,
+    frame_trace,
+    make_request,
+)
+from repro.telemetry import Telemetry
+
+
+class ToyHandler:
+    def rpc_echo(self, value):
+        return value
+
+
+class TestTraceContext:
+    def test_new_root_has_no_parent(self):
+        root = TraceContext.new_root(origin="central@pid1")
+        assert root.parent_id is None
+        assert root.trace_id
+        assert root.origin == "central@pid1"
+
+    def test_child_keeps_trace_id_links_parent(self):
+        root = TraceContext.new_root(origin="a")
+        child = root.child(origin="b")
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+        assert child.origin == "b"
+
+    def test_wire_round_trip(self):
+        root = TraceContext.new_root(origin="a")
+        assert TraceContext.from_wire(root.to_wire()) == root
+
+    def test_from_wire_rejects_garbage(self):
+        assert TraceContext.from_wire(None) is None
+        assert TraceContext.from_wire({"span": "x"}) is None
+        assert TraceContext.from_wire("nope") is None
+
+    def test_frame_trace_reads_request_frames(self):
+        root = TraceContext.new_root(origin="a")
+        frame = make_request(1, "echo", {"value": 2}, trace=root)
+        assert frame_trace(frame) == root
+        assert frame_trace(make_request(2, "echo")) is None
+
+    def test_span_args_expose_ids(self):
+        root = TraceContext.new_root(origin="a")
+        args = root.span_args()
+        assert args["trace_id"] == root.trace_id
+        assert args["span_id"] == root.span_id
+
+
+def _spans(telemetry):
+    return [
+        event for event in telemetry.tracer.events
+        if event.category == "rpc"
+    ]
+
+
+class TestPropagationOverTcp:
+    def test_client_and_server_spans_share_trace_id(self):
+        client_side = Telemetry(trace=True)
+        server_side = Telemetry(trace=True)
+        root = TraceContext.new_root(origin="test")
+        with RpcServer(ToyHandler(), "toy", telemetry=server_side) as server:
+            host, port = server.address
+            with RpcClient(host, port, telemetry=client_side) as client:
+                assert client.call("echo", trace=root, value=7) == 7
+
+        client_spans = _spans(client_side)
+        server_spans = _spans(server_side)
+        assert any(
+            span.args.get("trace_id") == root.trace_id
+            for span in client_spans
+        )
+        assert any(
+            span.args.get("trace_id") == root.trace_id
+            for span in server_spans
+        )
+        # The serve span is a *child*: same trace, chained parent.
+        serve = next(
+            span for span in server_spans
+            if span.args.get("trace_id") == root.trace_id
+        )
+        assert serve.args.get("parent_id") == root.span_id
+
+    def test_untraced_calls_stay_untraced(self):
+        server_side = Telemetry(trace=True)
+        with RpcServer(ToyHandler(), "toy", telemetry=server_side) as server:
+            host, port = server.address
+            with RpcClient(host, port) as client:
+                assert client.call("echo", value=1) == 1
+        assert all(
+            "trace_id" not in span.args for span in _spans(server_side)
+        )
+
+
+class TestPropagationInproc:
+    def test_inproc_serve_span_carries_trace(self):
+        telemetry = Telemetry(trace=True)
+        channel = InprocChannel(ToyHandler(), "toy", telemetry=telemetry)
+        root = TraceContext.new_root(origin="test")
+        assert channel.call("echo", trace=root, value=3) == 3
+        assert any(
+            span.args.get("trace_id") == root.trace_id
+            for span in _spans(telemetry)
+        )

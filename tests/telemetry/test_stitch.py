@@ -1,0 +1,86 @@
+"""Cross-process trace stitching: merged timelines, per-trace pid sets."""
+
+from repro.telemetry import pids_by_trace_id, stitch_chrome_traces
+from repro.telemetry.tracing import Tracer
+
+
+def make_tracer(pid, process_name, wall_epoch):
+    tracer = Tracer(enabled=True)
+    tracer.pid = pid
+    tracer.process_name = process_name
+    tracer.wall_epoch = wall_epoch
+    return tracer
+
+
+class TestStitch:
+    def test_offsets_by_wall_epoch(self):
+        early = make_tracer(1, "central", wall_epoch=100.0)
+        late = make_tracer(2, "node-01", wall_epoch=103.0)
+        with early.span("round", category="rpc"):
+            pass
+        with late.span("serve", category="rpc"):
+            pass
+        doc = stitch_chrome_traces(
+            [early.to_chrome_trace(), late.to_chrome_trace()]
+        )
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        by_pid = {event["pid"]: event for event in spans}
+        # The later process's events are pushed right by the epoch delta.
+        assert by_pid[2]["ts"] >= by_pid[1]["ts"] + 3.0e6 - 1e3
+
+    def test_process_name_metadata_emitted(self):
+        tracer = make_tracer(7, "node-03", wall_epoch=50.0)
+        with tracer.span("x"):
+            pass
+        doc = stitch_chrome_traces([tracer.to_chrome_trace()])
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert any(
+            e["name"] == "process_name"
+            and e["args"]["name"] == "node-03"
+            and e["pid"] == 7
+            for e in meta
+        )
+
+    def test_events_sorted_by_timestamp(self):
+        a = make_tracer(1, "a", wall_epoch=10.0)
+        b = make_tracer(2, "b", wall_epoch=10.5)
+        for tracer in (a, b, a, b):
+            with tracer.span("s"):
+                pass
+        doc = stitch_chrome_traces([a.to_chrome_trace(), b.to_chrome_trace()])
+        stamps = [
+            e["ts"] for e in doc["traceEvents"] if e["ph"] == "X"
+        ]
+        assert stamps == sorted(stamps)
+
+    def test_empty_input(self):
+        doc = stitch_chrome_traces([])
+        assert doc["traceEvents"] == []
+
+
+class TestPidsByTraceId:
+    def test_groups_pids_under_shared_trace_id(self):
+        central = make_tracer(11, "central", wall_epoch=0.0)
+        node = make_tracer(22, "node-01", wall_epoch=0.0)
+        with central.span("rpc.call:sample", category="rpc",
+                          trace_id="t1", span_id="a"):
+            pass
+        with node.span("rpc.serve:sample", category="rpc",
+                       trace_id="t1", span_id="b", parent_id="a"):
+            pass
+        with node.span("unrelated", category="rpc", trace_id="t2"):
+            pass
+        doc = stitch_chrome_traces(
+            [central.to_chrome_trace(), node.to_chrome_trace()]
+        )
+        by_trace = pids_by_trace_id(doc)
+        assert by_trace["t1"] == {11, 22}
+        assert by_trace["t2"] == {22}
+
+    def test_untraced_events_ignored(self):
+        tracer = make_tracer(1, "x", wall_epoch=0.0)
+        with tracer.span("plain"):
+            pass
+        assert pids_by_trace_id(stitch_chrome_traces(
+            [tracer.to_chrome_trace()]
+        )) == {}
