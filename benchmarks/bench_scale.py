@@ -1,0 +1,69 @@
+"""Scaling benchmark: scalar vs struct-of-arrays engine, 50->1000 nodes.
+
+The committed evaluation artifact (``BENCH_scale.json`` at the repo
+root) is produced by ``python -m repro bench scale`` over the full
+50/200/500/1000 sweep; this bench runs the same machinery at
+suite-budget sizes so ``pytest benchmarks/bench_scale.py`` measures the
+engines, asserts the parity + speedup invariants, and drops its own
+``BENCH_scale.json`` into a scratch directory (never clobbering the
+committed sweep).
+
+Sizes are overridable: ``ASDF_SCALE_SIZES=50,200 pytest ...`` reruns
+the bench at the CI smoke sizes.
+"""
+
+import json
+import os
+
+from repro.experiments import run_scale_benchmark, write_scale_json
+
+#: Suite-budget sweep; ASDF_SCALE_SIZES (comma-separated) overrides.
+DEFAULT_SIZES = (10, 40)
+
+
+def _sizes():
+    raw = os.environ.get("ASDF_SCALE_SIZES", "")
+    if raw.strip():
+        return tuple(int(part) for part in raw.split(",") if part.strip())
+    return DEFAULT_SIZES
+
+
+def test_scale_engines(benchmark, tmp_path):
+    sizes = _sizes()
+    payload = benchmark.pedantic(
+        lambda: run_scale_benchmark(
+            sizes=sizes,
+            ticks=60,
+            pipeline_seconds=20,
+            parity_sizes=(sizes[0],),
+            parity_ticks=30,
+            check_parity=True,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\nScaling: scalar vs vectorized engine")
+    print(f"{'nodes':>6} {'tick speedup':>13} {'pipeline speedup':>17}")
+    for size in sizes:
+        print(
+            f"{size:>6} {payload['tick_speedup'][str(size)]:>12.2f}x "
+            f"{payload['pipeline_speedup'][str(size)]:>16.2f}x"
+        )
+
+    # Invariants the committed artifact is gated on, at smoke scale:
+    # bit parity between engines, and the vectorized engine at least
+    # holding its own at the largest measured size.
+    assert payload["parity"]["checked"]
+    assert payload["parity"]["mismatches"] == 0, payload["parity"]
+    largest = str(max(sizes))
+    assert payload["tick_speedup"][largest] >= 1.0, payload["tick_speedup"]
+    for row in payload["rows"]:
+        assert row["ticks_per_s"] > 0.0
+        assert row["samples_per_s"] > 0.0
+
+    path = write_scale_json(payload, directory=tmp_path)
+    written = json.loads(path.read_text())
+    assert written["name"] == "scale"
+    assert written["tick_speedup"] == payload["tick_speedup"]
+    benchmark.extra_info["tick_speedup"] = payload["tick_speedup"]

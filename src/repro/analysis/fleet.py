@@ -1,0 +1,70 @@
+"""Fleet-batched analysis kernels: whole-cluster math in one call.
+
+The per-node analysis helpers (:func:`repro.analysis.peer.state_histogram`,
+per-window ``matrix.mean(axis=0)``) are exact but cost one numpy dispatch
+per node per window round -- at fleet scale the dispatch overhead
+dominates.  These batched twins take the whole fleet's windows stacked
+along axis 0 and produce identical results in a single call:
+
+- :func:`state_histogram_batch` counts state occupancies for all nodes
+  at once with one offset ``bincount`` (integer counting -- exact);
+- :func:`window_moments_batch` reduces an ``(n_nodes, window, metrics)``
+  tensor along the window axis; numpy applies the same pairwise
+  reduction per row as it does per matrix, so means and standard
+  deviations match the per-node loop bit for bit (a property pinned by
+  the parity tests, not assumed).
+
+Callers keep the per-node loop as a fallback for ragged rounds (nodes
+with mismatched window shapes cannot be stacked).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def state_histogram_batch(assignments: np.ndarray, k: int) -> np.ndarray:
+    """Per-row :func:`~repro.analysis.peer.state_histogram`, one call.
+
+    ``assignments`` has shape (n_nodes, window): each row holds one
+    node's state indices over the window.  Returns (n_nodes, k) float
+    histograms identical to calling ``state_histogram(row, k)`` per row.
+    """
+    assignments = np.asarray(assignments, dtype=int)
+    if assignments.ndim != 2:
+        raise ValueError(
+            f"expected (n_nodes, window), got shape {assignments.shape}"
+        )
+    if assignments.size and (
+        assignments.min() < 0 or assignments.max() >= k
+    ):
+        raise ValueError(
+            f"assignment index out of range [0, {k}): "
+            f"[{assignments.min()}, {assignments.max()}]"
+        )
+    n = assignments.shape[0]
+    offsets = assignments + np.arange(n)[:, None] * k
+    counts = np.bincount(offsets.ravel(), minlength=n * k)
+    return counts.reshape(n, k).astype(float)
+
+
+def window_moments_batch(
+    tensor: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Window mean and standard deviation for every node at once.
+
+    ``tensor`` has shape (n_nodes, window, n_metrics).  Returns
+    ``(means, stds)`` of shape (n_nodes, n_metrics), bit-identical to
+    ``matrix.mean(axis=0)`` / ``matrix.std(axis=0)`` per node.
+    """
+    tensor = np.asarray(tensor, dtype=float)
+    if tensor.ndim != 3:
+        raise ValueError(
+            f"expected (n_nodes, window, n_metrics), got shape {tensor.shape}"
+        )
+    return tensor.mean(axis=1), tensor.std(axis=1)
+
+
+__all__ = ["state_histogram_batch", "window_moments_batch"]

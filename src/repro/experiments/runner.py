@@ -29,6 +29,7 @@ the harness, not the workload.  This module is the harness fix:
 
 from __future__ import annotations
 
+import gc
 import hashlib
 import json
 import os
@@ -244,6 +245,12 @@ def _worker_init(models_json: str) -> None:
     global _worker_payloads, _worker_models
     _worker_payloads = json.loads(models_json)
     _worker_models = {}
+    # Freeze everything imported/parsed so far out of the cyclic GC's
+    # generations: workers churn through millions of short-lived sim
+    # objects, and rescanning the permanent interpreter/model state on
+    # every collection is pure overhead (it also keeps forked pages
+    # copy-on-write-clean on POSIX).
+    gc.freeze()
 
 
 def _worker_model(key: str) -> BlackBoxModel:
@@ -401,20 +408,57 @@ def parity_mismatches(a: EngineReport, b: EngineReport) -> List[str]:
 # --------------------------------------------------------------------------
 
 
+#: Target chunks per worker when batching pool submissions.  More than
+#: one chunk per worker keeps the pool load-balanced when task costs are
+#: uneven; batching several tasks per submit amortizes the per-future
+#: pickling, IPC and bookkeeping that dominates short matrices.
+CHUNKS_PER_WORKER = 2
+
+
+def _chunk_items(
+    items: List[Tuple[str, Dict[str, Any], Optional[str]]], jobs: int
+) -> List[List[Tuple[str, Dict[str, Any], Optional[str]]]]:
+    """Split the matrix into at most ``jobs * CHUNKS_PER_WORKER`` chunks.
+
+    Contiguous, near-equal splits preserve submission order, so results
+    flattened chunk by chunk come back in the same order the per-task
+    dispatch produced -- byte-identical reports either way.
+    """
+    chunk_count = max(1, min(len(items), jobs * CHUNKS_PER_WORKER))
+    base, extra = divmod(len(items), chunk_count)
+    chunks = []
+    start = 0
+    for index in range(chunk_count):
+        size = base + (1 if index < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
+def _execute_chunk(
+    chunk: List[Tuple[str, Dict[str, Any], Optional[str]]],
+) -> List[Tuple[str, Dict[str, Any], float, float, str]]:
+    """Run one submitted chunk of tasks, in order, in this worker."""
+    return [_execute_task(item) for item in chunk]
+
+
 def _pool_results(
     items: List[Tuple[str, Dict[str, Any], Optional[str]]],
     jobs: int,
     models_json: str,
 ):
-    """Dispatch ``items`` on a process pool, yielding in submission order."""
+    """Dispatch chunks on a process pool, yielding in submission order."""
     from concurrent.futures import ProcessPoolExecutor
 
     with ProcessPoolExecutor(
         max_workers=jobs, initializer=_worker_init, initargs=(models_json,)
     ) as pool:
-        futures = [pool.submit(_execute_task, item) for item in items]
+        futures = [
+            pool.submit(_execute_chunk, chunk)
+            for chunk in _chunk_items(items, jobs)
+        ]
         for future in futures:
-            yield future.result()
+            yield from future.result()
 
 
 def run_tasks(

@@ -73,6 +73,16 @@ class ScenarioConfig:
     workload_change_time_s: float = -1.0
     workload_change_factor: float = 1.0
 
+    # Simulator core: "scalar" or "vec" (struct-of-arrays); outputs are
+    # bit-identical, so this only changes wall-clock cost.
+    engine: str = "scalar"
+
+    # Classify with one fleet-wide ``knnfleet`` instance instead of N
+    # per-node ``knn`` instances.  Per-sample values are bit-identical
+    # (row-independent math); only the channel names differ, so the
+    # default keeps the rendered config byte-identical.
+    fleet_knn: bool = False
+
     def workload_config(self) -> GridMixConfig:
         return GridMixConfig(
             duration_s=self.duration_s,
@@ -83,7 +93,9 @@ class ScenarioConfig:
         )
 
     def cluster_config(self) -> ClusterConfig:
-        return ClusterConfig(num_slaves=self.num_slaves, seed=self.seed)
+        return ClusterConfig(
+            num_slaves=self.num_slaves, seed=self.seed, engine=self.engine
+        )
 
     def default_faulty_node(self, slave_names: List[str]) -> str:
         return slave_names[len(slave_names) // 2]
@@ -119,25 +131,52 @@ def build_asdf_config_text(
     the archive-replay and parity guarantees rest on.
     """
     lines: List[str] = []
-    for node in nodes:
+    if config.fleet_knn:
+        # One knnfleet instance classifies every node in a single batched
+        # numpy pass per round; ibuffers read the per-node channels it
+        # exposes.  Sample values match the per-node knn path bit for
+        # bit -- only channel names change.
+        for node in nodes:
+            lines += [
+                "[sadc]",
+                f"id = sadc_{node}",
+                f"node = {node}",
+                "interval = 1.0",
+                "",
+            ]
+        lines += ["[knnfleet]", "id = onenn", "model = bb_model", "k = 1"]
         lines += [
-            "[sadc]",
-            f"id = sadc_{node}",
-            f"node = {node}",
-            "interval = 1.0",
-            "",
-            "[knn]",
-            f"id = onenn_{node}",
-            f"input[input] = sadc_{node}.vector",
-            "model = bb_model",
-            "k = 1",
-            "",
-            "[ibuffer]",
-            f"id = buf_{node}",
-            f"input[input] = onenn_{node}.output0",
-            f"size = {config.ibuffer_size}",
-            "",
+            f"input[v{i}] = sadc_{node}.vector" for i, node in enumerate(nodes)
         ]
+        lines += [""]
+        for node in nodes:
+            lines += [
+                "[ibuffer]",
+                f"id = buf_{node}",
+                f"input[input] = onenn.{node}",
+                f"size = {config.ibuffer_size}",
+                "",
+            ]
+    else:
+        for node in nodes:
+            lines += [
+                "[sadc]",
+                f"id = sadc_{node}",
+                f"node = {node}",
+                "interval = 1.0",
+                "",
+                "[knn]",
+                f"id = onenn_{node}",
+                f"input[input] = sadc_{node}.vector",
+                "model = bb_model",
+                "k = 1",
+                "",
+                "[ibuffer]",
+                f"id = buf_{node}",
+                f"input[input] = onenn_{node}.output0",
+                f"size = {config.ibuffer_size}",
+                "",
+            ]
     lines += ["[analysis_bb]", "id = analysis_bb"]
     lines += [
         f"threshold = {config.bb_threshold}",
@@ -365,7 +404,9 @@ def run_scenario(
     if model is None:
         model = train_blackbox_model(
             cluster_config=ClusterConfig(
-                num_slaves=config.num_slaves, seed=config.seed + 1000
+                num_slaves=config.num_slaves,
+                seed=config.seed + 1000,
+                engine=config.engine,
             ),
             duration_s=min(300.0, config.duration_s),
             num_states=config.num_states,

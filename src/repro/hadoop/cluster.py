@@ -101,12 +101,18 @@ class ClusterConfig:
     node_spec: NodeSpec = field(default_factory=NodeSpec)
     replication: int = 3
     seed: int = 42
+    #: Simulator core: "scalar" (per-node Python loop) or "vec"
+    #: (struct-of-arrays, see repro.sim.vec).  Bit-identical outputs.
+    engine: str = "scalar"
 
 
 class HadoopCluster:
     """A complete simulated Hadoop 0.18 cluster."""
 
     MASTER = "master"
+
+    #: Idle CPU overhead of the co-located DataNode daemon, cores.
+    DATANODE_DAEMON_CORES = 0.015
 
     def __init__(self, config: Optional[ClusterConfig] = None) -> None:
         self.config = config if config is not None else ClusterConfig()
@@ -115,9 +121,24 @@ class HadoopCluster:
         self.slave_names: List[str] = [
             f"slave{i + 1:02d}" for i in range(cfg.num_slaves)
         ]
+        node_names = [self.MASTER] + self.slave_names
         self.nodes: Dict[str, SimNode] = {}
-        for i, name in enumerate([self.MASTER] + self.slave_names):
-            self.nodes[name] = SimNode(name, cfg.node_spec, seed=cfg.seed * 1000 + i)
+        if cfg.engine == "vec":
+            from ..sim.vec import FleetState, VecSimNode
+
+            self.fleet: Optional["FleetState"] = FleetState(node_names)
+            for i, name in enumerate(node_names):
+                self.nodes[name] = VecSimNode(
+                    name, cfg.node_spec, cfg.seed * 1000 + i, self.fleet, i
+                )
+        elif cfg.engine == "scalar":
+            self.fleet = None
+            for i, name in enumerate(node_names):
+                self.nodes[name] = SimNode(
+                    name, cfg.node_spec, seed=cfg.seed * 1000 + i
+                )
+        else:
+            raise ValueError(f"unknown cluster engine: {cfg.engine!r}")
 
         self.network = NetworkModel(
             {name: cfg.node_spec.nic_bytes_s for name in self.nodes}
@@ -227,6 +248,9 @@ class HadoopCluster:
 
     def step(self, dt: float = 1.0) -> None:
         """Advance the whole cluster by one tick of ``dt`` seconds."""
+        if self.fleet is not None:
+            self._step_vec(dt)
+            return
         self._run_due_actions()
         self._submit_due_jobs()
         now = self.time
@@ -244,7 +268,9 @@ class HadoopCluster:
         for tracker in self.trackers.values():
             tracker.demand(ctx, now)
             # The co-located DataNode daemon's idle overhead.
-            dn_cpu = ctx.demand_cpu(tracker.node_name, tracker.pid + 1, 0.015)
+            dn_cpu = ctx.demand_cpu(
+                tracker.node_name, tracker.pid + 1, self.DATANODE_DAEMON_CORES
+            )
             dn_cpu.book_all()
         for load in self.external_loads:
             load.demand(ctx, now)
@@ -259,6 +285,82 @@ class HadoopCluster:
         for node in self.nodes.values():
             node.end_tick(dt)
         self.time = now + dt
+
+    def _step_vec(self, dt: float) -> None:
+        """The vectorized tick: same event order, fleet-wide array math.
+
+        Per-node declaration order is preserved exactly -- heartbeat
+        transfers in rotated order, then per node [tasktracker daemon,
+        running attempts, datanode daemon], then external loads -- so
+        the bincount-based arbitration sees the same per-node operand
+        sequences as the scalar loop (see repro.sim.vec).
+        """
+        import numpy as np
+
+        from ..sim.vec import VecTickContext
+
+        self._run_due_actions()
+        self._submit_due_jobs()
+        now = self.time
+        fleet = self.fleet
+        fleet.begin_tick_all()
+
+        ctx = VecTickContext(self.nodes, self.network, dt, fleet)
+        tracker_list = [self.trackers[name] for name in self.slave_names]
+        offset = int(now) % max(1, len(tracker_list))
+        rotated = tracker_list[offset:] + tracker_list[:offset]
+        due = [t for t in rotated if t.heartbeat_due(now)]
+        if due:
+            master_idx = fleet.index[self.MASTER]
+            slave_idx = np.array(
+                [fleet.index[t.node_name] for t in due], dtype=np.intp
+            )
+            # Interleave (slave->master, master->slave) pairs exactly as
+            # the per-tracker loop declares them.
+            src = np.empty(2 * len(due), dtype=np.intp)
+            dst = np.empty(2 * len(due), dtype=np.intp)
+            src[0::2] = slave_idx
+            src[1::2] = master_idx
+            dst[0::2] = master_idx
+            dst[1::2] = slave_idx
+            from .mapreduce import HEARTBEAT_BYTES
+
+            ctx.demand_transfer_bulk(src, dst, HEARTBEAT_BYTES)
+            for tracker in due:
+                tracker._last_heartbeat = now
+                tracker.heartbeat_pull(now)
+
+        all_slave_idx = self._slave_index_array(np)
+        from .mapreduce import TaskTracker
+
+        ctx.demand_cpu_bulk(all_slave_idx, TaskTracker.DAEMON_CORES)
+        for tracker in tracker_list:
+            if tracker.running:
+                tracker.demand_tasks(ctx, now)
+        ctx.demand_cpu_bulk(all_slave_idx, self.DATANODE_DAEMON_CORES)
+        for load in self.external_loads:
+            load.demand(ctx, now)
+
+        ctx.arbitrate()
+
+        for tracker in tracker_list:
+            if tracker.running:
+                tracker.advance(now, dt)
+        for load in self.external_loads:
+            load.advance(now, dt)
+
+        fleet.end_tick_all(dt)
+        self.time = now + dt
+
+    def _slave_index_array(self, np_module):
+        idx = getattr(self, "_slave_idx_cache", None)
+        if idx is None:
+            idx = np_module.array(
+                [self.fleet.index[name] for name in self.slave_names],
+                dtype=np_module.intp,
+            )
+            self._slave_idx_cache = idx
+        return idx
 
     def run_until(
         self,

@@ -287,6 +287,22 @@ def standard_contracts() -> ContractRegistry:
     )
     registry.register(
         ModuleContract(
+            type_name="knnfleet",
+            params=(
+                ParamSpec("k", "int", default="1", min_value=1),
+                ParamSpec("model", "str", default="bb_model"),
+            ),
+            accepts_any_inputs=True,
+            requires_inputs=True,
+            # One output per wired node, named after the node; the node
+            # names come from upstream origins, which a static config
+            # analysis cannot resolve.
+            opaque_outputs=True,
+            trigger=TriggerSpec.per_connection(),
+        )
+    )
+    registry.register(
+        ModuleContract(
             type_name="ibuffer",
             params=(
                 ParamSpec("size", "int", default="10", min_value=1),

@@ -36,9 +36,13 @@ from .diagnostics import Diagnostic, apply_noqa, sort_diagnostics
 #: deterministic for parity and replay.  ``repro.obsv`` runs inside
 #: observatory-enabled scenarios: its wall-clock reads are confined to
 #: perf_counter/monotonic measurement plus explicitly-suppressed
-#: metadata stamps, and this lint keeps it that way.
+#: metadata stamps, and this lint keeps it that way.  ``repro.sim`` is
+#: the simulator core itself: both engines' bit parity (scalar vs
+#: struct-of-arrays) depends on every stochastic draw flowing through
+#: seeded per-node generators, never global or wall-clock state.
 DEFAULT_PACKAGES = (
     "repro.modules", "repro.analysis", "repro.experiments", "repro.obsv",
+    "repro.sim",
 )
 
 #: ``time.<fn>()`` reads that return wall-clock-dependent values.

@@ -2,7 +2,9 @@
 
 Data collection: ``sadc`` (black-box /proc metrics), ``hadoop_log``
 (white-box state vectors with cross-node synchronization).
-Analysis: ``mavgvec``, ``knn``, ``analysis_bb``, ``analysis_wb``.
+Analysis: ``mavgvec``, ``knn``, ``knnfleet`` (one instance classifying
+the whole fleet in batched numpy passes), ``analysis_bb``,
+``analysis_wb``.
 Plumbing/sinks: ``ibuffer``, ``print``, ``alarm_union``, ``csv_writer``,
 ``scoreboard`` (online ground-truth scoring into the observatory).
 
@@ -18,6 +20,7 @@ from .csvio import CsvWriterModule
 from .hadoop_log import HADOOP_LOG_CHANNEL_SERVICE, HadoopLogModule
 from .ibuffer import IBufferModule
 from .knn import KnnModule
+from .knnfleet import KnnFleetModule
 from .mavgvec import MavgVecModule
 from .mitigate import MitigationModule
 from .sadc import SADC_CHANNEL_SERVICE, SadcModule
@@ -36,6 +39,7 @@ STANDARD_MODULES = (
     CsvWriterModule,
     HadoopLogModule,
     IBufferModule,
+    KnnFleetModule,
     KnnModule,
     MavgVecModule,
     MitigationModule,
@@ -64,6 +68,7 @@ __all__ = [
     "HADOOP_LOG_CHANNEL_SERVICE",
     "HadoopLogModule",
     "IBufferModule",
+    "KnnFleetModule",
     "KnnModule",
     "MavgVecModule",
     "MitigationModule",

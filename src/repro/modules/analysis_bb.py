@@ -35,6 +35,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from ..analysis.fleet import state_histogram_batch
 from ..analysis.metrics import Alarm, WindowDecision
 from ..analysis.peer import state_histogram, state_vector_l1_deviation
 from ..core import Module, RunReason
@@ -105,19 +106,32 @@ class BlackBoxAnalysisModule(Module):
             self._process_round(window_round)
 
     def _process_round(self, window_round) -> None:
-        histograms = np.array(
-            [
-                state_histogram(
-                    np.clip(
-                        window_round[node][2].ravel().astype(int),
-                        0,
-                        self.num_states - 1,
-                    ),
-                    self.num_states,
-                )
-                for node in self.nodes
-            ]
-        )
+        matrices = [window_round[node][2] for node in self.nodes]
+        if len({m.shape for m in matrices}) == 1:
+            # Aligned rounds have one window shape fleet-wide: count all
+            # nodes' state occupancies in a single offset-bincount pass
+            # (bit-identical to the per-node loop -- integer counting).
+            assignments = np.clip(
+                np.stack(matrices).reshape(len(self.nodes), -1).astype(int),
+                0,
+                self.num_states - 1,
+            )
+            histograms = state_histogram_batch(assignments, self.num_states)
+        else:
+            # Ragged round (mismatched window shapes): per-node fallback.
+            histograms = np.array(
+                [
+                    state_histogram(
+                        np.clip(
+                            matrix.ravel().astype(int),
+                            0,
+                            self.num_states - 1,
+                        ),
+                        self.num_states,
+                    )
+                    for matrix in matrices
+                ]
+            )
         deviations = state_vector_l1_deviation(histograms)
         anomalous = {
             node: bool(dev > self.threshold)

@@ -29,6 +29,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from ..analysis.fleet import window_moments_batch
 from ..analysis.metrics import Alarm, WindowDecision
 from ..analysis.peer import whitebox_anomalies
 from ..core import Module, RunReason
@@ -93,8 +94,17 @@ class WhiteBoxAnalysisModule(Module):
 
     def _process_round(self, window_round) -> None:
         matrices = [window_round[node][2] for node in self.nodes]
-        means = np.array([m.mean(axis=0) for m in matrices])
-        stds = np.array([m.std(axis=0) for m in matrices])
+        if len({m.shape for m in matrices}) == 1 and matrices[0].ndim == 2:
+            # Aligned rounds have one window shape fleet-wide: reduce the
+            # whole (n_nodes, window, metrics) tensor in one call.  Numpy
+            # applies the same pairwise reduction per row as per matrix,
+            # so this is bit-identical to the per-node loop (pinned by
+            # the parity tests).
+            means, stds = window_moments_batch(np.stack(matrices))
+        else:
+            # Ragged round (mismatched window shapes): per-node fallback.
+            means = np.array([m.mean(axis=0) for m in matrices])
+            stds = np.array([m.std(axis=0) for m in matrices])
         verdict = whitebox_anomalies(means, stds, self.k)
         anomalous = {
             node: bool(flag)

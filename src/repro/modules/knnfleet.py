@@ -1,0 +1,137 @@
+"""The ``knnfleet`` module: fleet-batched 1-NN state classification.
+
+A *single* instance classifies the black-box metric vectors of every
+monitored node, replacing N per-node ``knn`` instances with one module
+that stacks all nodes' backlogs into one matrix and runs one scale +
+distance pass (:func:`repro.analysis.kmeans.nearest_k_batch`) for the
+whole fleet.  Every step of that math is row-independent, so the per
+sample outputs are bit-identical to what per-node ``knn`` instances
+produce -- only the channel names change (``onenn.slave01`` instead of
+``onenn_slave01.output0``).
+
+Inputs are one connection per node (resolved by origin, like
+``analysis_bb``); outputs are one channel per node, named after the
+node, each carrying the classified state index at the sample timestamp.
+
+Configuration::
+
+    [knnfleet]
+    id = onenn
+    model = bb_model
+    k = 1
+    input[v0] = sadc_slave01.vector
+    input[v1] = sadc_slave02.vector
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..analysis.kmeans import nearest_k, nearest_k_batch
+from ..core import Module, RunReason
+from ..core.errors import ConfigError
+
+
+class KnnFleetModule(Module):
+    type_name = "knnfleet"
+
+    def init(self) -> None:
+        ctx = self.ctx
+        self.k = ctx.param_int("k", 1)
+        model = ctx.service(ctx.param_str("model", "bb_model"))
+        self.centroids = np.asarray(model.centroids, dtype=float)
+        self.sigma = np.asarray(model.sigma, dtype=float)
+        if self.centroids.ndim != 2:
+            raise ConfigError(
+                f"knnfleet '{ctx.instance_id}': centroids must be 2-D, got "
+                f"shape {self.centroids.shape}"
+            )
+        if self.sigma.shape != (self.centroids.shape[1],):
+            raise ConfigError(
+                f"knnfleet '{ctx.instance_id}': sigma shape {self.sigma.shape}"
+                f" does not match centroid dimension {self.centroids.shape[1]}"
+            )
+        if not 1 <= self.k <= self.centroids.shape[0]:
+            raise ConfigError(
+                f"knnfleet '{ctx.instance_id}': k={self.k} out of range "
+                f"[1, {self.centroids.shape[0]}]"
+            )
+
+        self.connections: Dict[str, object] = {}
+        for group in ctx.inputs.values():
+            for connection in group:
+                origin = connection.origin
+                node = origin.node if origin is not None else ""
+                if not node:
+                    raise ConfigError(
+                        f"knnfleet '{ctx.instance_id}': input connection "
+                        "without node origin (wire it from sadc outputs)"
+                    )
+                if node in self.connections:
+                    raise ConfigError(
+                        f"knnfleet '{ctx.instance_id}': two inputs for node "
+                        f"'{node}'"
+                    )
+                self.connections[node] = connection
+        if not self.connections:
+            raise ConfigError(
+                f"knnfleet '{ctx.instance_id}': needs at least one input"
+            )
+        self.nodes = sorted(self.connections)
+        self.outputs = {
+            node: ctx.create_output(node, self.connections[node].origin)
+            for node in self.nodes
+        }
+        self.samples_classified = 0
+        ctx.trigger_after_updates(len(self.connections))
+
+    def run(self, reason: RunReason) -> None:
+        backlogs = [
+            (node, self.connections[node].pop_all()) for node in self.nodes
+        ]
+        backlogs = [(node, samples) for node, samples in backlogs if samples]
+        if not backlogs:
+            return
+        # One scale + one distance matrix for the entire fleet's backlog.
+        # Scaling is elementwise and nearest_k_batch is row-independent,
+        # so each row's result is bit-identical to classifying it alone.
+        try:
+            raw = np.array(
+                [s.value for _, samples in backlogs for s in samples],
+                dtype=float,
+            )
+        except ValueError:
+            raw = None
+        if raw is not None and raw.ndim == 2 and raw.shape[1] == self.sigma.shape[0]:
+            scaled = np.log1p(np.maximum(raw, 0.0)) / self.sigma
+            order = nearest_k_batch(scaled, self.centroids, self.k)
+            k = self.k
+            position = 0
+            for node, samples in backlogs:
+                out_write = self.outputs[node].write
+                for sample in samples:
+                    indices = order[position]
+                    position += 1
+                    value = (
+                        int(indices[0]) if k == 1 else [int(i) for i in indices]
+                    )
+                    out_write(value, sample.timestamp)
+                self.samples_classified += len(samples)
+            return
+        # Ragged backlog (a malformed producer mixing vector lengths):
+        # classify per sample, failing exactly where per-node knn would.
+        for node, samples in backlogs:
+            for sample in samples:
+                raw_one = np.asarray(sample.value, dtype=float)
+                scaled = np.log1p(np.maximum(raw_one, 0.0)) / self.sigma
+                indices = nearest_k(scaled, self.centroids, self.k)
+                value = (
+                    int(indices[0])
+                    if self.k == 1
+                    else [int(i) for i in indices]
+                )
+                self.outputs[node].write(value, sample.timestamp)
+                self.samples_classified += 1

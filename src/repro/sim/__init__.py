@@ -9,17 +9,20 @@ packet loss, and coherent ``/proc`` counter generation via
 from .engine import CpuDemand, DiskDemand, TickContext
 from .network import PACKET_BYTES, NetworkModel, Transfer
 from .node import DISK_IO_BYTES, SimNode
+from .noise import NOISE_BLOCK, TickNoise
 from .resources import NodeSpec, share_proportionally, tcp_goodput_factor
 
 __all__ = [
     "CpuDemand",
     "DISK_IO_BYTES",
     "DiskDemand",
+    "NOISE_BLOCK",
     "NetworkModel",
     "NodeSpec",
     "PACKET_BYTES",
     "SimNode",
     "TickContext",
+    "TickNoise",
     "Transfer",
     "share_proportionally",
     "tcp_goodput_factor",

@@ -53,6 +53,10 @@ class NetworkModel:
     def loss_rate(self, node: str) -> float:
         return self._loss.get(node, 0.0)
 
+    def loss_rates(self) -> Dict[str, float]:
+        """All nodes with injected loss (for vectorized arbitration)."""
+        return dict(self._loss)
+
     def nic_capacity(self, node: str) -> float:
         return self._nic_bytes_s.get(node, 125e6)
 

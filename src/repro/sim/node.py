@@ -18,6 +18,17 @@ import numpy as np
 
 from ..sysstat.procfs import SimProcFS
 from .network import PACKET_BYTES
+from .noise import (
+    GAMMA_SYS,
+    GAMMA_USER,
+    NORMAL_CTXT,
+    NORMAL_INTR,
+    NORMAL_PGFAULT,
+    POISSON_FORKS,
+    POISSON_MCAST,
+    POISSON_PGMAJ,
+    TickNoise,
+)
 from .resources import NodeSpec
 
 #: Typical bytes per disk I/O request (used to derive tps from bytes).
@@ -34,6 +45,7 @@ class SimNode:
         self.name = name
         self.spec = spec
         self.rng = np.random.default_rng(seed)
+        self.noise = TickNoise(self.rng)
         self.procfs = SimProcFS(num_cpus=int(round(spec.cpu_cores)))
         self.procfs.mem.total_kb = spec.memory_mb * 1024.0
         self.procfs.mem.free_kb = spec.memory_mb * 1024.0
@@ -131,12 +143,12 @@ class SimNode:
     def end_tick(self, dt: float) -> None:
         """Fold accumulated activity plus OS noise into the counters."""
         fs = self.procfs
-        rng = self.rng
+        noise = self.noise.draw(dt)
         capacity = self.spec.cpu_cores * dt
 
         # Background OS activity keeps fault-free metrics non-degenerate.
-        noise_user = rng.gamma(2.0, 0.004) * dt
-        noise_sys = rng.gamma(2.0, 0.003) * dt
+        noise_user = noise[GAMMA_USER] * dt
+        noise_sys = noise[GAMMA_SYS] * dt
 
         user = self._cpu_user + noise_user
         system = self._cpu_sys + noise_sys
@@ -189,18 +201,18 @@ class SimNode:
         nic.rx_drop += self._net_rx_drop / PACKET_BYTES
         nic.tx_errs += self._net_tx_drop / PACKET_BYTES * 0.1
         nic.rx_errs += self._net_rx_drop / PACKET_BYTES * 0.1
-        nic.multicast += rng.poisson(0.5 * dt)
+        nic.multicast += noise[POISSON_MCAST]
 
         # Kernel counters derived from activity levels.
         ios = reads + writes
         fs.stat.ctxt += (
             800.0 * dt + 300.0 * busy + 0.5 * (tx_pkts + rx_pkts) + 2.0 * ios
-            + rng.normal(0.0, 20.0 * dt)
+            + noise[NORMAL_CTXT]
         )
         fs.stat.intr += (
-            250.0 * dt + tx_pkts + rx_pkts + ios + rng.normal(0.0, 10.0 * dt)
+            250.0 * dt + tx_pkts + rx_pkts + ios + noise[NORMAL_INTR]
         )
-        fs.stat.processes += self._forks + rng.poisson(1.5 * dt)
+        fs.stat.processes += self._forks + noise[POISSON_FORKS]
         fs.tcp.in_segs += rx_pkts
         fs.tcp.out_segs += tx_pkts
         fs.tcp.active_opens += 0.2 * dt + 0.02 * self._active_streams
@@ -209,8 +221,8 @@ class SimNode:
         # Paging follows CPU work (heap churn) and disk traffic.
         fs.vm.pgpgin_kb += self._disk_read / 1024.0
         fs.vm.pgpgout_kb += self._disk_write / 1024.0
-        fs.vm.pgfault += 50.0 * dt + 400.0 * busy + rng.normal(0.0, 5.0 * dt)
-        fs.vm.pgmajfault += rng.poisson(0.05 * dt)
+        fs.vm.pgfault += 50.0 * dt + 400.0 * busy + noise[NORMAL_PGFAULT]
+        fs.vm.pgmajfault += noise[POISSON_PGMAJ]
         fs.vm.pgfree += 60.0 * dt + 0.3 * (self._disk_read + self._disk_write) / 4096.0
 
         # Memory gauges: resident sets plus a page cache fed by I/O.

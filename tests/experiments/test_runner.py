@@ -37,6 +37,28 @@ def mini_model():
     return shared_model(MINI, training_duration_s=120.0)
 
 
+class TestChunkedDispatch:
+    """Pool submissions batch tasks; flattened order must be unchanged."""
+
+    def test_chunks_preserve_order_and_cover_everything(self):
+        items = [(f"t{i}", {}, None) for i in range(11)]
+        chunks = runner_mod._chunk_items(items, jobs=3)
+        flattened = [item for chunk in chunks for item in chunk]
+        assert flattened == items
+
+    def test_chunk_count_bounded_by_workers(self):
+        items = [(f"t{i}", {}, None) for i in range(100)]
+        chunks = runner_mod._chunk_items(items, jobs=4)
+        assert len(chunks) == 4 * runner_mod.CHUNKS_PER_WORKER
+        sizes = [len(chunk) for chunk in chunks]
+        assert max(sizes) - min(sizes) <= 1  # balanced
+        assert all(sizes)
+
+    def test_fewer_items_than_chunks(self):
+        items = [("only", {}, None)]
+        assert runner_mod._chunk_items(items, jobs=8) == [items]
+
+
 class TestDeriveSeed:
     def test_deterministic_and_31_bit(self):
         a = derive_seed(42, "CPUHog", 0)

@@ -1,0 +1,117 @@
+"""Tests for the scaling benchmark and its scalar/vec parity fixtures."""
+
+import pytest
+
+from repro.experiments.scale import (
+    check_scale_gate,
+    measure_pipeline_rate,
+    measure_tick_rate,
+    run_scale_benchmark,
+    scenario_parity_mismatches,
+    write_scale_json,
+)
+
+
+class TestMeasurements:
+    def test_tick_rate_shape(self):
+        row = measure_tick_rate(4, "vec", ticks=5, warmup=2)
+        assert row["num_slaves"] == 4
+        assert row["engine"] == "vec"
+        assert row["tick_wall_s"] > 0
+        assert row["ticks_per_s"] > 0
+
+    def test_pipeline_rate_counts_all_nodes(self):
+        row = measure_pipeline_rate(4, "scalar", seconds=8, window=4)
+        assert row["samples_per_s"] > 0
+        assert row["pipeline_rounds"] >= 1
+
+    def test_benchmark_payload(self, tmp_path):
+        payload = run_scale_benchmark(
+            sizes=(4, 6),
+            ticks=8,
+            pipeline_seconds=6,
+            parity_sizes=(4,),
+            parity_ticks=8,
+        )
+        assert payload["sizes"] == [4, 6]
+        assert len(payload["rows"]) == 4  # two sizes x two engines
+        assert set(payload["tick_speedup"]) == {"4", "6"}
+        assert payload["parity"]["mismatches"] == 0
+        path = write_scale_json(payload, directory=tmp_path)
+        assert path.name == "BENCH_scale.json"
+        assert path.exists()
+
+
+class TestScaleGate:
+    PAYLOAD = {
+        "sizes": [50, 200],
+        "tick_speedup": {"50": 4.0, "200": 8.0},
+        "parity": {"checked": True, "mismatches": 0},
+    }
+
+    def test_passes_on_good_payload(self):
+        ok, message = check_scale_gate(self.PAYLOAD, min_speedup=5.0)
+        assert ok, message
+        assert "PASS" in message
+
+    def test_fails_below_speedup_floor(self):
+        ok, message = check_scale_gate(self.PAYLOAD, min_speedup=10.0)
+        assert not ok
+        assert "below" in message
+
+    def test_fails_on_parity_mismatch(self):
+        bad = dict(
+            self.PAYLOAD,
+            parity={
+                "checked": True,
+                "mismatches": 2,
+                "mismatch_labels": ["N=50: tick 3 node slave01"],
+            },
+        )
+        ok, message = check_scale_gate(bad)
+        assert not ok
+        assert "parity" in message
+
+    def test_baseline_regression(self, tmp_path):
+        baseline = tmp_path / "BENCH_scale.json"
+        baseline.write_text(
+            '{"sizes": [50, 200], "tick_speedup": {"50": 4.0, "200": 20.0}}'
+        )
+        ok, message = check_scale_gate(
+            self.PAYLOAD, baseline_path=baseline, slack=0.7
+        )
+        assert not ok
+        assert "regressed" in message
+        ok, _ = check_scale_gate(
+            self.PAYLOAD, baseline_path=baseline, slack=0.3
+        )
+        assert ok
+
+    def test_unreadable_baseline_fails(self, tmp_path):
+        ok, message = check_scale_gate(
+            self.PAYLOAD, baseline_path=tmp_path / "missing.json"
+        )
+        assert not ok
+        assert "baseline" in message
+
+    def test_empty_payload_fails(self):
+        ok, _ = check_scale_gate({"sizes": [], "tick_speedup": {}})
+        assert not ok
+
+
+class TestScenarioParity:
+    """End-to-end scalar vs vec+fleet_knn: alarms, decisions, scoreboard
+    counts and the analysis channels' bytes must all match exactly."""
+
+    def test_small_fleet(self):
+        assert scenario_parity_mismatches(6, duration_s=300.0, seed=31) == []
+
+    @pytest.mark.slow
+    def test_n50(self):
+        assert scenario_parity_mismatches(50, duration_s=420.0, seed=31) == []
+
+    @pytest.mark.slow
+    def test_n200(self):
+        assert (
+            scenario_parity_mismatches(200, duration_s=300.0, seed=31) == []
+        )

@@ -52,6 +52,25 @@ class TestConfigGeneration:
         assert "threshold = 42.0" in text
         assert "k = 1.5" in text
 
+    def test_fleet_knn_swaps_per_node_chains_for_one_instance(self):
+        nodes = ["a", "b", "c"]
+        text = build_asdf_config_text(
+            nodes, ScenarioConfig(fleet_knn=True)
+        )
+        specs = parse_config(text)
+        assert sum(1 for s in specs if s.module_type == "knnfleet") == 1
+        assert sum(1 for s in specs if s.module_type == "knn") == 0
+        assert sum(1 for s in specs if s.module_type == "ibuffer") == 3
+
+    def test_fleet_knn_off_keeps_text_byte_identical(self):
+        nodes = ["a", "b"]
+        default = build_asdf_config_text(nodes, ScenarioConfig())
+        explicit = build_asdf_config_text(
+            nodes, ScenarioConfig(fleet_knn=False)
+        )
+        assert default == explicit
+        assert "knnfleet" not in default
+
 
 class TestFaultFreeRun:
     def test_produces_decisions_and_stats(self, tiny_model):

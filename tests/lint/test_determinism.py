@@ -85,6 +85,7 @@ class TestRepoCodePaths:
             "repro.analysis",
             "repro.experiments",
             "repro.obsv",
+            "repro.sim",
         )
 
     def test_hints_text_mentions_mismatched_tasks(self):

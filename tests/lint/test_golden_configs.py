@@ -56,6 +56,14 @@ class TestGeneratedDeployment:
         assert "[scoreboard]" in text
         assert_clean(text)
 
+    def test_fleet_knn_config_lints_clean(self):
+        config = ScenarioConfig(num_slaves=5, fleet_knn=True)
+        nodes = [f"slave{i + 1:02d}" for i in range(5)]
+        text = build_asdf_config_text(nodes, config)
+        assert "[knnfleet]" in text
+        assert "[knn]" not in text.replace("[knnfleet]", "")
+        assert_clean(text)
+
     def test_scoreboard_section_is_opt_in(self):
         # Observatory-less deployments must keep generating the exact
         # pre-observatory text (byte parity for archives and goldens).
