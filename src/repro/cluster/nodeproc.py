@@ -56,7 +56,7 @@ def run_node(name: str, state_dir: str, seed: int = 0,
     write_runtime(state_dir, DaemonRuntime(
         role="node", name=name, pid=os.getpid(),
         host="127.0.0.1", rpc_port=server.address[1], ops_port=ops.port,
-        started_wall=time.time(),
+        started_wall=time.time(),  # fpt: noqa[FPT201] -- runtime metadata stamp, not scenario state
     ))
     try:
         while not stop.is_set():

@@ -12,20 +12,44 @@ Three layers, each usable on its own:
 * :mod:`repro.lint.determinism` -- flags wall-clock reads and unseeded
   random sources in scenario code paths (``FPT2xx``), the calls that
   break replay and serial/parallel parity.
+* :mod:`repro.lint.costmodel` -- folds a parsed configuration's DAG
+  into a static per-tick CPU estimate from the contracts' declared
+  cost facts (``FPT30x``: budget overruns, per-node modules at fleet
+  scale, windows recomputed from scratch) and AST-scans hot modules
+  for vectorization hazards (``FPT31x``).
+* :mod:`repro.lint.concurrency` -- builds a thread-entry-point graph
+  over the deployment packages and flags cross-thread shared-state
+  races (``FPT4xx``: unlocked writes, leak-prone ``acquire()``,
+  blocking calls under a lock).
 
 Entry points: the ``repro lint`` CLI subcommand, the ``lint=`` opt-in
 on :class:`repro.core.FptCore`, and the functions re-exported here.
 """
 
 from .analyzer import analyze_config, analyze_specs
+from .concurrency import (
+    concurrency_hints,
+    lint_concurrency,
+    scan_concurrency_source,
+    scan_concurrency_sources,
+)
 from .contracts import (
     ContractRegistry,
+    CostFact,
+    CostTerm,
     InputPortSpec,
     ModuleContract,
     ParamSpec,
     TriggerSpec,
     contract_table,
     standard_contracts,
+)
+from .costmodel import (
+    DEFAULT_TICK_BUDGET_MS,
+    CostReport,
+    estimate_config,
+    estimate_specs,
+    scan_hot_modules,
 )
 from .determinism import (
     DEFAULT_PACKAGES,
@@ -39,6 +63,7 @@ from .diagnostics import (
     Severity,
     apply_noqa,
     has_errors,
+    marker_errors,
     render_json,
     render_text,
     sort_diagnostics,
@@ -54,7 +79,11 @@ from .implcheck import (
 __all__ = [
     "CODES",
     "DEFAULT_PACKAGES",
+    "DEFAULT_TICK_BUDGET_MS",
     "ContractRegistry",
+    "CostFact",
+    "CostReport",
+    "CostTerm",
     "Diagnostic",
     "InputPortSpec",
     "ModuleContract",
@@ -66,14 +95,22 @@ __all__ = [
     "apply_noqa",
     "check_implementation",
     "check_registry",
+    "concurrency_hints",
     "contract_table",
     "contracts_for_registry",
     "determinism_hints",
+    "estimate_config",
+    "estimate_specs",
     "has_errors",
     "infer_contract",
+    "lint_concurrency",
     "lint_determinism",
+    "marker_errors",
     "render_json",
     "render_text",
+    "scan_concurrency_source",
+    "scan_concurrency_sources",
+    "scan_hot_modules",
     "scan_module_class",
     "scan_source",
     "sort_diagnostics",

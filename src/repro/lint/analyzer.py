@@ -34,7 +34,12 @@ from .contracts import (
     ModuleContract,
     parse_param_value,
 )
-from .diagnostics import Diagnostic, apply_noqa, sort_diagnostics
+from .diagnostics import (
+    Diagnostic,
+    apply_noqa,
+    marker_errors,
+    sort_diagnostics,
+)
 
 #: Minimum peers the paper's analyses need; contracts may override.
 DEFAULT_MIN_PEERS = 3
@@ -485,6 +490,7 @@ def analyze_config(
     specs = parse_config(text, collect=errors)
     diagnostics = _parse_error_diagnostics(errors, file)
     diagnostics.extend(_Analyzer(specs, contracts, file).run())
+    diagnostics.extend(marker_errors(text, file))
     if noqa:
         diagnostics = apply_noqa(diagnostics, text)
     return sort_diagnostics(diagnostics)

@@ -95,6 +95,84 @@ class TriggerSpec:
         return cls("param", param=name)
 
 
+#: Units a cost term can be charged per.
+COST_UNITS = ("trigger", "sample", "window")
+
+#: Symbols a cost term may scale with.  Resolved per instance by the
+#: cost model: ``window``/``slide``/``k``/``num_states``/``size`` from
+#: the instance's parameters, ``n_inputs`` from its wired connections,
+#: ``nodes`` from a ``nodes`` list parameter (hadoop_log), ``dim`` from
+#: the metric-vector dimension (the sadc catalog size by default).
+COST_SYMBOLS = (
+    "window", "slide", "k", "num_states", "size", "n_inputs", "nodes", "dim",
+)
+
+
+@dataclass(frozen=True)
+class CostTerm:
+    """One work term of a module's declarative cost fact.
+
+    ``us`` is the estimated CPU microseconds charged once per ``per``
+    unit, multiplied by every symbol in ``scales``.  The coefficients
+    are calibrated against the committed ``BENCH_scale.json`` pipeline
+    measurements (see DESIGN.md); the cost model only promises
+    order-of-magnitude accuracy (CI asserts within 3x of measured).
+
+    * ``per="trigger"`` -- charged every time the instance fires;
+    * ``per="sample"``  -- charged per incoming sample *element*
+      (ibuffer batches are unpacked to their element rate);
+    * ``per="window"``  -- charged per completed window round
+      (element rate / slide).
+    """
+
+    us: float
+    per: str = "trigger"
+    scales: Tuple[str, ...] = ()
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.per not in COST_UNITS:
+            raise ValueError(
+                f"cost term: bad unit {self.per!r} (choose from {COST_UNITS})"
+            )
+        for symbol in self.scales:
+            if symbol not in COST_SYMBOLS:
+                raise ValueError(
+                    f"cost term: unknown scale symbol {symbol!r} "
+                    f"(choose from {COST_SYMBOLS})"
+                )
+
+
+@dataclass(frozen=True)
+class CostFact:
+    """Declarative cost facts for one module type (FPT3xx inputs).
+
+    * ``terms`` -- the work terms summed into the per-tick estimate;
+    * ``hot`` -- the module sits on the per-sample fleet data path, so
+      the FPT310-312 vectorization lints scan its ``run()``;
+    * ``per_node`` -- deployments instantiate one instance per
+      monitored node (instance count tracks fleet size N);
+    * ``batched`` -- a single instance serves the whole fleet;
+    * ``fleet_equivalent`` -- name of a fleet-batched module type that
+      replaces N per-node instances of this one (knn -> knnfleet);
+      feeds FPT302;
+    * ``batch_param`` -- int parameter naming the output batch factor
+      (ibuffer ``size``): outputs carry ``batch_param`` elements each
+      and emit at ``1/batch_param`` of the input update rate;
+    * ``window_recompute`` -- each completed window is recomputed from
+      scratch (no incremental update); with ``slide < window`` the
+      overlap is re-scanned every round, which FPT303 flags.
+    """
+
+    terms: Tuple[CostTerm, ...] = ()
+    hot: bool = False
+    per_node: bool = False
+    batched: bool = False
+    fleet_equivalent: Optional[str] = None
+    batch_param: Optional[str] = None
+    window_recompute: bool = False
+
+
 @dataclass(frozen=True)
 class ModuleContract:
     """Everything fpt-lint knows about one module type."""
@@ -136,6 +214,9 @@ class ModuleContract:
     opaque_params: bool = False
     #: Set for contracts produced by AST inference rather than declared.
     inferred: bool = False
+    #: Declarative cost facts for the FPT3xx cost model; None means the
+    #: type is free as far as the budget estimate is concerned.
+    cost: Optional[CostFact] = field(default=None, compare=False)
 
     def param(self, name: str) -> Optional[ParamSpec]:
         for spec in self.params:
@@ -245,6 +326,13 @@ def standard_contracts() -> ContractRegistry:
             outputs=("vector",),
             output_resolver=_sadc_outputs,
             trigger=TriggerSpec.periodic(),
+            cost=CostFact(
+                terms=(
+                    CostTerm(20.0, "trigger", note="proc scrape + dispatch"),
+                    CostTerm(0.3, "trigger", ("dim",), "per-metric read"),
+                ),
+                per_node=True,
+            ),
         )
     )
     registry.register(
@@ -261,6 +349,12 @@ def standard_contracts() -> ContractRegistry:
             output_resolver=_hadoop_log_outputs,
             trigger=TriggerSpec.periodic(),
             check=_check_hadoop_log,
+            cost=CostFact(
+                terms=(
+                    CostTerm(18.0, "trigger", ("nodes",), "per-node log parse"),
+                ),
+                batched=True,
+            ),
         )
     )
     registry.register(
@@ -271,6 +365,10 @@ def standard_contracts() -> ContractRegistry:
             allows_inputs=False,
             outputs=("counts",),
             trigger=TriggerSpec.periodic(),
+            cost=CostFact(
+                terms=(CostTerm(25.0, "trigger", note="syscall count scrape"),),
+                per_node=True,
+            ),
         )
     )
     registry.register(
@@ -283,6 +381,18 @@ def standard_contracts() -> ContractRegistry:
             inputs=(InputPortSpec("input", max_connections=1),),
             outputs=("output0",),
             trigger=TriggerSpec.fixed(1),
+            cost=CostFact(
+                terms=(
+                    CostTerm(
+                        100.0, "sample",
+                        note="small-array numpy call overhead per sample",
+                    ),
+                    CostTerm(0.2, "sample", ("dim",), "distance arithmetic"),
+                ),
+                hot=True,
+                per_node=True,
+                fleet_equivalent="knnfleet",
+            ),
         )
     )
     registry.register(
@@ -299,6 +409,15 @@ def standard_contracts() -> ContractRegistry:
             # analysis cannot resolve.
             opaque_outputs=True,
             trigger=TriggerSpec.per_connection(),
+            cost=CostFact(
+                terms=(
+                    CostTerm(1.5, "sample", note="amortized batched classify"),
+                    CostTerm(0.02, "sample", ("dim",), "matrix arithmetic"),
+                    CostTerm(3.0, "trigger", ("n_inputs",), "backlog gather"),
+                ),
+                hot=True,
+                batched=True,
+            ),
         )
     )
     registry.register(
@@ -312,6 +431,12 @@ def standard_contracts() -> ContractRegistry:
             outputs=("output0",),
             trigger=TriggerSpec.fixed(1),
             check=_check_ibuffer,
+            cost=CostFact(
+                terms=(CostTerm(4.0, "sample", note="buffer append + emit"),),
+                hot=True,
+                per_node=True,
+                batch_param="size",
+            ),
         )
     )
     registry.register(
@@ -324,6 +449,18 @@ def standard_contracts() -> ContractRegistry:
             inputs=(InputPortSpec("input"),),
             outputs=("mean", "var"),
             trigger=TriggerSpec.per_connection(),
+            cost=CostFact(
+                terms=(
+                    CostTerm(5.0, "trigger", note="ring-buffer append"),
+                    CostTerm(10.0, "window", note="mean/var reduction setup"),
+                    CostTerm(
+                        0.02, "window", ("window", "dim"),
+                        "full-window rescan",
+                    ),
+                ),
+                hot=True,
+                window_recompute=True,
+            ),
         )
     )
     registry.register(
@@ -344,6 +481,9 @@ def standard_contracts() -> ContractRegistry:
             inputs=(InputPortSpec("m", max_connections=1),),
             outputs=("alarms",),
             trigger=TriggerSpec.fixed(1),
+            cost=CostFact(
+                terms=(CostTerm(6.0, "sample", note="bound compare + streak"),),
+            ),
         )
     )
     registry.register(
@@ -362,6 +502,17 @@ def standard_contracts() -> ContractRegistry:
             inputs=(InputPortSpec("s", max_connections=1),),
             outputs=("alarms", "divergence"),
             trigger=TriggerSpec.fixed(1),
+            cost=CostFact(
+                terms=(
+                    CostTerm(4.0, "sample", note="count accumulation"),
+                    CostTerm(
+                        0.5, "window", ("window",),
+                        "histogram divergence over the window",
+                    ),
+                    CostTerm(30.0, "window", note="baseline comparison"),
+                ),
+                window_recompute=True,
+            ),
         )
     )
     registry.register(
@@ -379,6 +530,22 @@ def standard_contracts() -> ContractRegistry:
             outputs=("alarms", "decisions", "stats"),
             trigger=TriggerSpec.per_connection(),
             min_peers=3,
+            cost=CostFact(
+                terms=(
+                    CostTerm(2.0, "sample", note="per-peer sample append"),
+                    CostTerm(
+                        20.0, "window", ("n_inputs",),
+                        "per-peer histogram + pairwise vote",
+                    ),
+                    CostTerm(
+                        0.02, "window", ("n_inputs", "num_states"),
+                        "state-count normalization",
+                    ),
+                ),
+                hot=True,
+                batched=True,
+                window_recompute=True,
+            ),
         )
     )
     registry.register(
@@ -395,6 +562,18 @@ def standard_contracts() -> ContractRegistry:
             outputs=("alarms", "decisions", "stats"),
             trigger=TriggerSpec.per_connection(),
             min_peers=3,
+            cost=CostFact(
+                terms=(
+                    CostTerm(2.0, "sample", note="per-peer sample append"),
+                    CostTerm(
+                        15.0, "window", ("n_inputs",),
+                        "per-peer mean/sigma + outlier vote",
+                    ),
+                ),
+                hot=True,
+                batched=True,
+                window_recompute=True,
+            ),
         )
     )
     registry.register(
@@ -404,6 +583,12 @@ def standard_contracts() -> ContractRegistry:
             requires_inputs=True,
             outputs=("alarms",),
             trigger=TriggerSpec.fixed(1),
+            cost=CostFact(
+                terms=(
+                    CostTerm(3.0, "trigger", note="merge dispatch"),
+                    CostTerm(0.5, "trigger", ("n_inputs",), "per-source scan"),
+                ),
+            ),
         )
     )
     registry.register(
@@ -417,6 +602,9 @@ def standard_contracts() -> ContractRegistry:
             requires_inputs=True,
             trigger=TriggerSpec.fixed(1),
             sink=True,
+            cost=CostFact(
+                terms=(CostTerm(1.0, "sample", note="format + swallow"),),
+            ),
         )
     )
     registry.register(
@@ -429,6 +617,9 @@ def standard_contracts() -> ContractRegistry:
             requires_inputs=True,
             trigger=TriggerSpec.fixed(1),
             sink=True,
+            cost=CostFact(
+                terms=(CostTerm(3.0, "sample", note="scoreboard ingest"),),
+            ),
         )
     )
     registry.register(
@@ -439,6 +630,9 @@ def standard_contracts() -> ContractRegistry:
             requires_inputs=True,
             trigger=TriggerSpec.fixed(1),
             sink=True,
+            cost=CostFact(
+                terms=(CostTerm(4.0, "sample", note="row format + write"),),
+            ),
         )
     )
     registry.register(
@@ -454,6 +648,25 @@ def standard_contracts() -> ContractRegistry:
             requires_inputs=True,
             outputs=("actions",),
             trigger=TriggerSpec.fixed(1),
+            sink=True,
+            cost=CostFact(
+                terms=(CostTerm(3.0, "sample", note="alarm triage + action"),),
+            ),
+        )
+    )
+    # Lint-only pseudo-section.  ``[scale]`` never reaches the runtime;
+    # it lets hand-written config *templates* (not yet expanded per
+    # node) declare the fleet size the cost model should assume, plus an
+    # optional per-config tick budget override.  Expanded deployments do
+    # not need it: the cost model infers N from per-node instance counts.
+    registry.register(
+        ModuleContract(
+            type_name="scale",
+            params=(
+                ParamSpec("n", "int", required=True, min_value=1),
+                ParamSpec("tick_budget_ms", "float", positive=True),
+            ),
+            allows_inputs=False,
             sink=True,
         )
     )
@@ -513,7 +726,11 @@ def parse_param_value(spec: ParamSpec, raw: str):
 
 
 __all__ = [
+    "COST_SYMBOLS",
+    "COST_UNITS",
     "ContractRegistry",
+    "CostFact",
+    "CostTerm",
     "InputPortSpec",
     "ModuleContract",
     "PARAM_TYPES",

@@ -30,7 +30,12 @@ import importlib
 import os
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from .diagnostics import Diagnostic, apply_noqa, sort_diagnostics
+from .diagnostics import (
+    Diagnostic,
+    apply_noqa,
+    marker_errors,
+    sort_diagnostics,
+)
 
 #: Packages whose code runs inside scenario executions and must stay
 #: deterministic for parity and replay.  ``repro.obsv`` runs inside
@@ -40,9 +45,12 @@ from .diagnostics import Diagnostic, apply_noqa, sort_diagnostics
 #: the simulator core itself: both engines' bit parity (scalar vs
 #: struct-of-arrays) depends on every stochastic draw flowing through
 #: seeded per-node generators, never global or wall-clock state.
+#: ``repro.cluster``/``repro.rpc``/``repro.telemetry`` host the daemons a
+#: deployed scenario runs through; their wall-clock reads are confined to
+#: explicitly-suppressed liveness/measurement sites.
 DEFAULT_PACKAGES = (
     "repro.modules", "repro.analysis", "repro.experiments", "repro.obsv",
-    "repro.sim",
+    "repro.sim", "repro.cluster", "repro.rpc", "repro.telemetry",
 )
 
 #: ``time.<fn>()`` reads that return wall-clock-dependent values.
@@ -187,7 +195,8 @@ def scan_source(text: str, file: str = "<source>") -> List[Diagnostic]:
         ]
     visitor = _DeterminismVisitor(file)
     visitor.visit(tree)
-    return apply_noqa(visitor.findings, text)
+    findings = visitor.findings + marker_errors(text, file)
+    return apply_noqa(findings, text)
 
 
 def _package_files(package: str) -> List[str]:

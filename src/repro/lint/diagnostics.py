@@ -6,17 +6,30 @@ code.  Codes are grouped by layer:
 * ``FPT0xx`` -- configuration analysis (:mod:`repro.lint.analyzer`);
 * ``FPT1xx`` -- module contract vs. implementation
   (:mod:`repro.lint.implcheck`);
-* ``FPT2xx`` -- determinism (:mod:`repro.lint.determinism`).
+* ``FPT2xx`` -- determinism (:mod:`repro.lint.determinism`);
+* ``FPT3xx`` -- static cost model and vectorization
+  (:mod:`repro.lint.costmodel`);
+* ``FPT4xx`` -- concurrency / data races
+  (:mod:`repro.lint.concurrency`).
 
 A diagnostic can be suppressed at its source line with an inline
 marker::
 
     threshold = -5      # fpt: noqa[FPT009]
-    t = time.time()     # fpt: noqa[FPT201]
+    t = time.time()     # fpt: noqa[FPT201] -- benchmark metadata stamp
     whatever = 1        # fpt: noqa           (suppresses every code)
 
+Each bracketed entry is either a full code (``FPT201``) or a *code
+prefix* of one to two digits (``FPT2``, ``FPT20``), which suppresses
+every code it prefixes -- ``# fpt: noqa[FPT3]`` silences the whole cost
+model on that line.  Anything else inside the brackets (``E501``,
+``FPT30x``, ``FPT2011``) is a malformed entry: it suppresses nothing and
+is itself reported as **FPT090** so a typo'd suppression cannot silently
+stop suppressing.
+
 :func:`apply_noqa` filters a diagnostic list against the marker lines of
-the source text the diagnostics point into.
+the source text the diagnostics point into; :func:`marker_errors`
+reports the malformed entries.
 """
 
 from __future__ import annotations
@@ -31,6 +44,10 @@ from typing import Dict, Iterable, List, Optional, Set
 _NOQA_RE = re.compile(
     r"#\s*fpt:\s*noqa(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?", re.IGNORECASE
 )
+
+#: A valid noqa entry: a full ``FPTnnn`` code or a 1-2 digit prefix
+#: (``FPT2`` / ``FPT20``) that suppresses every code it prefixes.
+_CODE_OR_PREFIX_RE = re.compile(r"^FPT\d{1,3}$")
 
 
 class Severity(enum.Enum):
@@ -71,8 +88,30 @@ CODES: Dict[str, "tuple[Severity, str]"] = {
     "FPT104": (Severity.WARNING, "declared output never created"),
     "FPT105": (Severity.ERROR, "implementation reads an undeclared input"),
     "FPT106": (Severity.ERROR, "parameter accessor type conflicts with contract"),
+    "FPT090": (Severity.ERROR, "malformed noqa suppression entry"),
     "FPT201": (Severity.ERROR, "wall-clock read (breaks replay/parity)"),
     "FPT202": (Severity.ERROR, "unseeded random source (breaks parity)"),
+    "FPT301": (Severity.ERROR, "config cannot sustain its tick budget"),
+    "FPT302": (
+        Severity.WARNING,
+        "per-node module on a fleet-scale hot path (batched equivalent exists)",
+    ),
+    "FPT303": (
+        Severity.WARNING,
+        "window recomputed from scratch each trigger (slide < window)",
+    ),
+    "FPT310": (Severity.WARNING, "per-node Python loop on the fleet hot path"),
+    "FPT311": (Severity.WARNING, "per-sample allocation inside a hot loop"),
+    "FPT312": (Severity.WARNING, "O(N) fleet scan per trigger in a hot module"),
+    "FPT401": (
+        Severity.WARNING,
+        "cross-thread attribute write without a held lock",
+    ),
+    "FPT402": (
+        Severity.WARNING,
+        "lock acquired outside a with block or try/finally",
+    ),
+    "FPT403": (Severity.WARNING, "blocking call while holding a lock"),
 }
 
 
@@ -114,10 +153,12 @@ class Diagnostic:
 
 
 def noqa_lines(text: str) -> Dict[int, Optional[Set[str]]]:
-    """Map 1-based line numbers to their suppressed codes.
+    """Map 1-based line numbers to their suppressed codes/prefixes.
 
     ``None`` means a bare ``# fpt: noqa`` that suppresses everything on
-    that line.
+    that line.  Only well-formed entries (full codes or ``FPT2``-style
+    prefixes) are returned; malformed entries suppress nothing and are
+    surfaced by :func:`marker_errors` instead.
     """
     markers: Dict[int, Optional[Set[str]]] = {}
     for line_no, line in enumerate(text.splitlines(), start=1):
@@ -128,7 +169,11 @@ def noqa_lines(text: str) -> Dict[int, Optional[Set[str]]]:
         if codes is None:
             markers[line_no] = None
         else:
-            parsed = {c.strip().upper() for c in codes.split(",") if c.strip()}
+            parsed = {
+                c.strip().upper()
+                for c in codes.split(",")
+                if c.strip() and _CODE_OR_PREFIX_RE.match(c.strip().upper())
+            }
             previous = markers.get(line_no)
             if previous is None and line_no in markers:
                 continue  # bare noqa already suppresses everything
@@ -136,17 +181,59 @@ def noqa_lines(text: str) -> Dict[int, Optional[Set[str]]]:
     return markers
 
 
+def marker_errors(text: str, file: str = "<config>") -> List[Diagnostic]:
+    """FPT090 diagnostics for malformed noqa entries in ``text``.
+
+    A suppression entry must be a full ``FPTnnn`` code or a ``FPT2`` /
+    ``FPT20`` prefix.  Anything else (``E501``, ``FPT30x``, ``FPT2011``)
+    is reported here so a typo cannot silently stop suppressing.
+    """
+    findings: List[Diagnostic] = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if not match or match.group("codes") is None:
+            continue
+        for entry in match.group("codes").split(","):
+            entry = entry.strip()
+            if entry and not _CODE_OR_PREFIX_RE.match(entry.upper()):
+                findings.append(
+                    Diagnostic(
+                        code="FPT090",
+                        message=(
+                            f"noqa entry {entry!r} is neither a full FPTnnn "
+                            "code nor a FPT2-style prefix; it suppresses "
+                            "nothing"
+                        ),
+                        line=line_no,
+                        file=file,
+                    )
+                )
+    return findings
+
+
+def code_suppressed(code: str, entries: Set[str]) -> bool:
+    """True when ``entries`` (full codes or prefixes) cover ``code``."""
+    code = code.upper()
+    return any(code.startswith(entry) for entry in entries)
+
+
 def apply_noqa(
     diagnostics: Iterable[Diagnostic], text: str
 ) -> List[Diagnostic]:
-    """Drop diagnostics whose source line carries a matching noqa marker."""
+    """Drop diagnostics whose source line carries a matching noqa marker.
+
+    Matching honours prefixes: ``# fpt: noqa[FPT3]`` suppresses every
+    FPT3xx code on its line.  FPT090 (malformed noqa entry) is never
+    suppressed by the marker that carries it -- that would defeat the
+    report.
+    """
     markers = noqa_lines(text)
     kept: List[Diagnostic] = []
     for diag in diagnostics:
         codes = markers.get(diag.line, ...) if diag.line else ...
-        if codes is ...:
+        if codes is ... or diag.code == "FPT090":
             kept.append(diag)
-        elif codes is not None and diag.code.upper() not in codes:
+        elif codes is not None and not code_suppressed(diag.code, codes):
             kept.append(diag)
     return kept
 

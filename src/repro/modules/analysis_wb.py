@@ -82,7 +82,7 @@ class WhiteBoxAnalysisModule(Module):
 
     def run(self, reason: RunReason) -> None:
         rounds = []
-        for node in self.nodes:
+        for node in self.nodes:  # fpt: noqa[FPT310] -- drains per-node queues; the math below is batched
             completed = []
             for sample in self.connections[node].pop_all():
                 completed.extend(
@@ -93,7 +93,7 @@ class WhiteBoxAnalysisModule(Module):
             self._process_round(window_round)
 
     def _process_round(self, window_round) -> None:
-        matrices = [window_round[node][2] for node in self.nodes]
+        matrices = [window_round[node][2] for node in self.nodes]  # fpt: noqa[FPT312] -- gathers one matrix per node to stack for the vectorized path
         if len({m.shape for m in matrices}) == 1 and matrices[0].ndim == 2:
             # Aligned rounds have one window shape fleet-wide: reduce the
             # whole (n_nodes, window, metrics) tensor in one call.  Numpy
@@ -113,7 +113,7 @@ class WhiteBoxAnalysisModule(Module):
         fired = set(self._counter.update(anomalous))
         now = self.ctx.clock.now()
         decisions: List[WindowDecision] = []
-        for index, node in enumerate(self.nodes):
+        for index, node in enumerate(self.nodes):  # fpt: noqa[FPT310] -- one decision object per node per window round, not per sample
             start, end, _ = window_round[node]
             decisions.append(
                 WindowDecision(

@@ -88,7 +88,7 @@ class KnnModule(Module):
             self.samples_classified += len(samples)
             return
         for sample in samples:
-            raw_one = np.asarray(sample.value, dtype=float)
+            raw_one = np.asarray(sample.value, dtype=float)  # fpt: noqa[FPT311] -- ragged fallback path; the aligned path is the fleet module
             scaled = np.log1p(np.maximum(raw_one, 0.0)) / self.sigma
             indices = nearest_k(scaled, self.centroids, self.k)
             value = int(indices[0]) if self.k == 1 else [int(i) for i in indices]

@@ -89,10 +89,10 @@ class KnnFleetModule(Module):
         ctx.trigger_after_updates(len(self.connections))
 
     def run(self, reason: RunReason) -> None:
-        backlogs = [
+        backlogs = [  # fpt: noqa[FPT312] -- gather step feeding one batched classify pass
             (node, self.connections[node].pop_all()) for node in self.nodes
         ]
-        backlogs = [(node, samples) for node, samples in backlogs if samples]
+        backlogs = [(node, samples) for node, samples in backlogs if samples]  # fpt: noqa[FPT312] -- gather step feeding one batched classify pass
         if not backlogs:
             return
         # One scale + one distance matrix for the entire fleet's backlog.
@@ -100,7 +100,7 @@ class KnnFleetModule(Module):
         # so each row's result is bit-identical to classifying it alone.
         try:
             raw = np.array(
-                [s.value for _, samples in backlogs for s in samples],
+                [s.value for _, samples in backlogs for s in samples],  # fpt: noqa[FPT312] -- builds the single fleet-wide batch the whole point is to classify at once
                 dtype=float,
             )
         except ValueError:
@@ -110,7 +110,7 @@ class KnnFleetModule(Module):
             order = nearest_k_batch(scaled, self.centroids, self.k)
             k = self.k
             position = 0
-            for node, samples in backlogs:
+            for node, samples in backlogs:  # fpt: noqa[FPT310] -- scatter step routing batched results back to per-node outputs
                 out_write = self.outputs[node].write
                 for sample in samples:
                     indices = order[position]
@@ -123,9 +123,9 @@ class KnnFleetModule(Module):
             return
         # Ragged backlog (a malformed producer mixing vector lengths):
         # classify per sample, failing exactly where per-node knn would.
-        for node, samples in backlogs:
+        for node, samples in backlogs:  # fpt: noqa[FPT310] -- ragged fallback path, hit only by malformed producers
             for sample in samples:
-                raw_one = np.asarray(sample.value, dtype=float)
+                raw_one = np.asarray(sample.value, dtype=float)  # fpt: noqa[FPT311] -- ragged fallback path, hit only by malformed producers
                 scaled = np.log1p(np.maximum(raw_one, 0.0)) / self.sigma
                 indices = nearest_k(scaled, self.centroids, self.k)
                 value = (

@@ -65,7 +65,7 @@ class Observatory:
         Call after construction, like the flight recorder: the scheduler
         write hooks must already be installed so they can be chained.
         """
-        self._core = core
+        self._core = core  # fpt: noqa[FPT401] -- attach() runs before the ops server thread starts
         self.tracer.attach(core)
         for ctx in core.dag.contexts.values():
             ctx.services.setdefault(OBSERVATORY_SERVICE, self)

@@ -229,7 +229,7 @@ class Scoreboard:
         self, alarm: Alarm, latency: Optional[AlarmLatencyRecord] = None
     ) -> str:
         """Account one alarm; returns the fault label it was charged to."""
-        self.alarms_seen += 1
+        self.alarms_seen += 1  # fpt: noqa[FPT401] -- single writer: only the scheduler thread observes; ops threads read
         window = self.attribute_alarm(alarm)
         if window is not None:
             score = self._score(window.fault)
@@ -254,7 +254,7 @@ class Scoreboard:
         """Score one detector round of node-window decisions online."""
         primary = self._primary_fault()
         for decision in decisions:
-            self.decisions_seen += 1
+            self.decisions_seen += 1  # fpt: noqa[FPT401] -- single writer: only the scheduler thread observes; ops threads read
             covering = None
             for window in self._truths:
                 if window.covers_window(

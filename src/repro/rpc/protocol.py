@@ -23,6 +23,7 @@ import json
 import math
 import os
 import struct
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
@@ -282,27 +283,35 @@ class ByteCounter:
     static_wire: int = field(default=0)
     messages_sent: int = 0
     messages_received: int = 0
+    #: A server-side counter aggregates every connection-handler thread;
+    #: the updates below are compound (+=) and must be serialized.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def count_tx(self, payload_bytes: int, static: bool = False) -> None:
-        self.tx_payload += payload_bytes
         wire = wire_bytes(payload_bytes)
-        self.tx_wire += wire
-        self.messages_sent += 1
-        if static:
-            self.static_wire += wire
+        with self._lock:
+            self.tx_payload += payload_bytes
+            self.tx_wire += wire
+            self.messages_sent += 1
+            if static:
+                self.static_wire += wire
 
     def count_rx(self, payload_bytes: int, static: bool = False) -> None:
-        self.rx_payload += payload_bytes
         wire = wire_bytes(payload_bytes)
-        self.rx_wire += wire
-        self.messages_received += 1
-        if static:
-            self.static_wire += wire
+        with self._lock:
+            self.rx_payload += payload_bytes
+            self.rx_wire += wire
+            self.messages_received += 1
+            if static:
+                self.static_wire += wire
 
     def count_handshake(self) -> None:
-        self.static_wire += TCP_HANDSHAKE_WIRE_BYTES
-        self.tx_wire += TCP_HANDSHAKE_WIRE_BYTES // 2
-        self.rx_wire += TCP_HANDSHAKE_WIRE_BYTES // 2
+        with self._lock:
+            self.static_wire += TCP_HANDSHAKE_WIRE_BYTES
+            self.tx_wire += TCP_HANDSHAKE_WIRE_BYTES // 2
+            self.rx_wire += TCP_HANDSHAKE_WIRE_BYTES // 2
 
     @property
     def total_wire(self) -> int:

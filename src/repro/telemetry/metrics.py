@@ -73,6 +73,14 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
+#: One process-wide lock serializes every metric child's compound update:
+#: values are written from scenario/poller threads and scraped by the ops
+#: HTTP thread, and ``+=`` is not atomic under concurrent writers.
+#: Shared (rather than per-child) because updates are low-rate and an
+#: uncontended acquire is cheaper than a lock object per metric.
+_VALUES_LOCK = threading.Lock()
+
+
 class Counter:
     """A monotonically increasing count."""
 
@@ -84,7 +92,8 @@ class Counter:
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter increment must be >= 0, got {amount}")
-        self.value += amount
+        with _VALUES_LOCK:
+            self.value += amount
 
 
 class Gauge:
@@ -96,18 +105,22 @@ class Gauge:
         self.value = 0.0
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with _VALUES_LOCK:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with _VALUES_LOCK:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with _VALUES_LOCK:
+            self.value -= amount
 
     def set_max(self, value: float) -> None:
         """Raise the gauge to ``value`` if it is below it (high-watermark)."""
-        if value > self.value:
-            self.value = float(value)
+        with _VALUES_LOCK:
+            if value > self.value:
+                self.value = float(value)
 
 
 class Histogram:
@@ -131,13 +144,14 @@ class Histogram:
         self.count = 0
 
     def observe(self, value: float) -> None:
-        self.sum += value
-        self.count += 1
-        for i, bound in enumerate(self.upper_bounds):
-            if value <= bound:
-                self.bucket_counts[i] += 1
-                return
-        self.overflow += 1
+        with _VALUES_LOCK:
+            self.sum += value
+            self.count += 1
+            for i, bound in enumerate(self.upper_bounds):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    return
+            self.overflow += 1
 
     @property
     def mean(self) -> float:

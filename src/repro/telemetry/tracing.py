@@ -153,7 +153,7 @@ class Tracer:
         # perf_counter timeline on the shared wall clock -- this is what
         # lets stitch_chrome_traces align documents across processes.
         self._epoch = time.perf_counter()
-        self.wall_epoch = time.time()
+        self.wall_epoch = time.time()  # fpt: noqa[FPT201] -- epoch anchor aligning per-process traces on the shared wall clock
         self.pid = os.getpid()
         self.process_name = process_name or f"pid{self.pid}"
 
@@ -161,7 +161,7 @@ class Tracer:
 
     def _record(self, event: TraceEvent) -> None:
         if len(self.events) >= self.max_events:
-            self.dropped += 1
+            self.dropped += 1  # fpt: noqa[FPT401] -- best-effort drop counter; a lost increment only undercounts drops
             return
         self.events.append(event)
 

@@ -86,6 +86,9 @@ class TestRepoCodePaths:
             "repro.experiments",
             "repro.obsv",
             "repro.sim",
+            "repro.cluster",
+            "repro.rpc",
+            "repro.telemetry",
         )
 
     def test_hints_text_mentions_mismatched_tasks(self):

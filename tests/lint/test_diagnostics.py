@@ -8,6 +8,7 @@ from repro.lint.diagnostics import (
     Severity,
     apply_noqa,
     has_errors,
+    marker_errors,
     noqa_lines,
     render_json,
     render_text,
@@ -115,3 +116,78 @@ class TestNoqa:
     def test_positionless_diagnostics_never_suppressed(self):
         kept = apply_noqa([Diagnostic("FPT010", "m")], "# fpt: noqa\n")
         assert len(kept) == 1
+
+
+class TestNoqaPrefixes:
+    def test_one_digit_prefix_suppresses_the_whole_layer(self):
+        text = "a = 1  # fpt: noqa[FPT3]\n"
+        kept = apply_noqa(
+            [
+                Diagnostic("FPT302", "x", line=1),
+                Diagnostic("FPT310", "y", line=1),
+                Diagnostic("FPT201", "z", line=1),
+            ],
+            text,
+        )
+        assert [d.code for d in kept] == ["FPT201"]
+
+    def test_two_digit_prefix_narrows_to_a_decade(self):
+        text = "a = 1  # fpt: noqa[FPT31]\n"
+        kept = apply_noqa(
+            [
+                Diagnostic("FPT310", "x", line=1),
+                Diagnostic("FPT302", "y", line=1),
+            ],
+            text,
+        )
+        assert [d.code for d in kept] == ["FPT302"]
+
+    def test_full_code_still_matches_exactly(self):
+        text = "a = 1  # fpt: noqa[FPT310]\n"
+        kept = apply_noqa(
+            [
+                Diagnostic("FPT310", "x", line=1),
+                Diagnostic("FPT311", "y", line=1),
+            ],
+            text,
+        )
+        assert [d.code for d in kept] == ["FPT311"]
+
+    def test_prefixes_parse_alongside_full_codes(self):
+        markers = noqa_lines("x  # fpt: noqa[FPT2, FPT401]\n")
+        assert markers == {1: {"FPT2", "FPT401"}}
+
+
+class TestMalformedNoqa:
+    def test_malformed_entry_reports_fpt090(self):
+        findings = marker_errors("t = 1  # fpt: noqa[E501]\n", file="f.py")
+        assert [d.code for d in findings] == ["FPT090"]
+        assert "E501" in findings[0].message
+        assert findings[0].line == 1
+
+    def test_too_long_prefix_is_malformed(self):
+        findings = marker_errors("t = 1  # fpt: noqa[FPT2011]\n")
+        assert [d.code for d in findings] == ["FPT090"]
+
+    def test_malformed_entry_suppresses_nothing(self):
+        text = "t = 1  # fpt: noqa[FPT30x]\n"
+        kept = apply_noqa([Diagnostic("FPT302", "x", line=1)], text)
+        assert [d.code for d in kept] == ["FPT302"]
+
+    def test_fpt090_is_never_self_suppressed(self):
+        # The malformed marker cannot silence its own report, even when
+        # a valid prefix covering FPT0xx rides on the same line.
+        text = "t = 1  # fpt: noqa[FPT0, E999]\n"
+        findings = marker_errors(text)
+        assert [d.code for d in findings] == ["FPT090"]
+        assert apply_noqa(findings, text) == findings
+
+    def test_valid_entries_on_a_mixed_line_still_work(self):
+        text = "t = 1  # fpt: noqa[FPT201, E501]\n"
+        kept = apply_noqa([Diagnostic("FPT201", "x", line=1)], text)
+        assert kept == []
+        assert [d.code for d in marker_errors(text)] == ["FPT090"]
+
+    def test_clean_markers_report_nothing(self):
+        assert marker_errors("a = 1  # fpt: noqa[FPT201]\nb = 2\n") == []
+        assert marker_errors("a = 1  # fpt: noqa\n") == []
