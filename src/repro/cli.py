@@ -378,7 +378,7 @@ def cmd_bench(args) -> int:
     report = serial
     if args.jobs != 1:
         print(f"running with jobs={args.jobs}...", flush=True)
-        report = run_tasks(tasks, jobs=args.jobs, model=model)
+        report = run_tasks(tasks, jobs=args.jobs, model=model, warm=args.warm)
         print(f"  {report.mode} wall: {report.wall_s:.2f}s ({report.jobs} workers)")
         if serial is not None:
             report.serial_wall_s = serial.wall_s
@@ -668,10 +668,16 @@ def cmd_cluster_up(args) -> int:
         interval_s=args.interval,
         seed=args.seed,
         max_frame_bytes=args.max_frame_bytes,
+        per_host=args.per_host,
+        codec=args.codec,
+        engine=args.engine,
+        sample_interval_s=args.sample_interval,
     )
     launcher.up()
+    hosts = len(launcher.host_groups())
     print(
-        f"starting {args.nodes} collection daemons + central "
+        f"starting {args.nodes} collection daemons ({hosts} host "
+        f"process(es), {args.per_host}/host, codec {args.codec}) + central "
         f"in {launcher.state_dir} ...",
         flush=True,
     )
@@ -693,13 +699,23 @@ def cmd_cluster_up(args) -> int:
 
 
 def cmd_cluster_node(args) -> int:
-    """Entrypoint for one collection daemon (spawned by ``cluster up``)."""
-    from .cluster import run_node
+    """Entrypoint for one node host process (spawned by ``cluster up``)."""
+    from .cluster import run_node_host
     from .rpc import set_max_frame_bytes
 
     if args.max_frame_bytes is not None:
         set_max_frame_bytes(args.max_frame_bytes)
-    return run_node(args.name, args.dir, seed=args.seed)
+    if args.names:
+        names = [n.strip() for n in args.names.split(",") if n.strip()]
+    elif args.name:
+        names = [args.name]
+    else:
+        print("error: cluster node needs --names or --name", file=sys.stderr)
+        return 2
+    return run_node_host(
+        names, args.dir, seed=args.seed, engine=args.engine,
+        sample_interval_s=args.sample_interval,
+    )
 
 
 def cmd_cluster_central(args) -> int:
@@ -710,13 +726,84 @@ def cmd_cluster_central(args) -> int:
     if args.max_frame_bytes is not None:
         set_max_frame_bytes(args.max_frame_bytes)
     return run_central(args.dir, interval_s=args.interval,
-                       ops_port=args.serve or 0)
+                       ops_port=args.serve or 0, codec=args.codec)
+
+
+def _cmd_cluster_scale_drive(args) -> int:
+    """The ``--nodes 3,10,25`` sweep: boot, measure, tear down per count."""
+    from .cluster.driver import (
+        DriveError,
+        check_cluster_scale_gate,
+        run_scale_drive,
+    )
+
+    try:
+        counts = [int(c) for c in args.nodes.split(",") if c.strip()]
+    except ValueError:
+        print(f"error: bad --nodes list {args.nodes!r}", file=sys.stderr)
+        return 2
+    try:
+        bench = run_scale_drive(
+            args.out,
+            node_counts=counts,
+            codec=args.codec,
+            per_host=args.per_host,
+            interval_s=args.interval,
+            sustain_s=args.sustain,
+            seed=args.seed,
+            compare_codecs=not args.no_codec_compare,
+        )
+    except DriveError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for entry in bench["sweep"]:
+        mean_round = entry.get("mean_round_s")
+        bytes_node = entry.get("bytes_per_node_round")
+        detection = entry.get("detection_s")
+        print(
+            f"nodes={entry['nodes']:<4} ({entry['processes']} procs, "
+            f"codec {'/'.join(entry['negotiated'])}): "
+            f"{entry.get('samples_per_sec') or 0:.1f} samples/s  "
+            f"round mean "
+            f"{(f'{mean_round * 1000:.1f}ms' if mean_round else '-')}  "
+            f"{(f'{bytes_node:.0f}' if bytes_node else '-')} B/node/round"
+            + (f"  detection {detection:.2f}s" if detection else "")
+        )
+    codec_bytes = bench.get("codec_bytes")
+    if codec_bytes and codec_bytes.get("ratio_v2_over_v1"):
+        print(
+            f"codec bytes at {codec_bytes['nodes']} nodes: "
+            f"v1 {codec_bytes['v1_bytes_per_node_round']:.0f} vs "
+            f"v2 {codec_bytes['v2_bytes_per_node_round']:.0f} B/node/round "
+            f"({codec_bytes['ratio_v2_over_v1']:.2f}x)"
+        )
+    scaling = bench["round_scaling"]
+    if scaling.get("ratio") is not None:
+        print(
+            f"round scaling {scaling['smallest_nodes']} -> "
+            f"{scaling['largest_nodes']} nodes: {scaling['ratio']:.2f}x "
+            f"mean round growth"
+        )
+    out_path = os.path.join(args.out, "BENCH_cluster.json")
+    print(f"wrote {out_path}")
+    ok, message = (bench["ok"], "")
+    if args.gate:
+        ok, message = check_cluster_scale_gate(
+            bench, baseline_path=args.gate, slack=args.gate_slack
+        )
+        print(message, file=sys.stdout if ok else sys.stderr)
+    elif not bench["ok"]:
+        for failure in bench["failures"]:
+            print(f"bench FAILURE: {failure}", file=sys.stderr)
+    return 0 if ok and bench["ok"] else 1
 
 
 def cmd_cluster_drive(args) -> int:
     """Run the measured scenario against a live cluster."""
     from .cluster.driver import DriveError, run_drive
 
+    if args.nodes:
+        return _cmd_cluster_scale_drive(args)
     try:
         bench = run_drive(
             args.dir,
@@ -1000,6 +1087,11 @@ def build_parser() -> argparse.ArgumentParser:
         "byte-identical (exit 1 on mismatch)",
     )
     bench.add_argument(
+        "--warm", action="store_true", default=None,
+        help="persistent warm-worker pool: spawn + pre-import workers "
+        "before the measured window (default: $ASDF_WARM_WORKERS)",
+    )
+    bench.add_argument(
         "--name", default="table2", help="benchmark name (BENCH_<name>.json)"
     )
     bench.add_argument(
@@ -1125,20 +1217,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _cluster_common(up)
     up.add_argument("--nodes", type=int, default=3,
-                    help="number of collection daemons")
+                    help="number of logical collection daemons")
     up.add_argument("--interval", type=float, default=0.5,
                     help="central poll interval, wall seconds")
     up.add_argument("--seed", type=int, default=1,
-                    help="base RNG seed for the synthetic node loads")
+                    help="base RNG seed for the node loads")
+    up.add_argument("--per-host", type=int, default=8,
+                    help="logical node daemons packed per host process")
+    up.add_argument("--codec", default="v2", choices=["v1", "v2"],
+                    help="poll codec: v2 negotiates binary framing, "
+                    "v1 pins JSON")
+    up.add_argument("--engine", default="fleet",
+                    choices=["fleet", "synthetic"],
+                    help="node telemetry source: the vectorized Hadoop "
+                    "fleet or the v1 synthetic generator")
+    up.add_argument("--sample-interval", type=float, default=None,
+                    help="node-host sampling cadence, wall seconds "
+                    "(default: max(0.25, --interval))")
     up.set_defaults(handler=cmd_cluster_up)
 
     node = cluster_cmds.add_parser(
-        "node", help="one collection daemon (spawned by 'cluster up')",
+        "node", help="one node host process (spawned by 'cluster up')",
     )
     _cluster_common(node)
-    node.add_argument("--name", required=True, help="daemon name")
+    node.add_argument("--name", default=None, help="single daemon name")
+    node.add_argument("--names", default=None,
+                      help="comma-separated logical node names this host "
+                      "process serves")
     node.add_argument("--seed", type=int, default=0,
-                      help="RNG seed for this node's synthetic load")
+                      help="RNG seed for this host's load")
+    node.add_argument("--engine", default="fleet",
+                      choices=["fleet", "synthetic"],
+                      help="telemetry source for this host's nodes")
+    node.add_argument("--sample-interval", type=float, default=0.5,
+                      help="sampler-thread cadence, wall seconds")
     node.set_defaults(handler=cmd_cluster_node)
 
     central = cluster_cmds.add_parser(
@@ -1149,6 +1261,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="poll interval, wall seconds")
     central.add_argument("--serve", type=int, default=None, metavar="PORT",
                          help="ops HTTP port (default: ephemeral)")
+    central.add_argument("--codec", default="v2", choices=["v1", "v2"],
+                         help="poll codec: v2 negotiates binary framing, "
+                         "v1 pins JSON")
     central.set_defaults(handler=cmd_cluster_central)
 
     drive = cluster_cmds.add_parser(
@@ -1172,6 +1287,28 @@ def build_parser() -> argparse.ArgumentParser:
     drive.add_argument("--shutdown", action="store_true",
                        help="leave the stop marker when done so 'cluster "
                        "up' exits")
+    drive.add_argument("--nodes", default=None, metavar="N,N,...",
+                       help="scale sweep: boot+measure+tear down a fresh "
+                       "self-contained cluster per node count (e.g. "
+                       "3,10,25) instead of driving a running one")
+    drive.add_argument("--codec", default="v2", choices=["v1", "v2"],
+                       help="poll codec for the scale sweep")
+    drive.add_argument("--per-host", type=int, default=8,
+                       help="logical nodes per host process in the sweep")
+    drive.add_argument("--interval", type=float, default=0.25,
+                       help="central poll interval for the sweep, wall "
+                       "seconds")
+    drive.add_argument("--seed", type=int, default=1,
+                       help="base RNG seed for the sweep's node loads")
+    drive.add_argument("--no-codec-compare", action="store_true",
+                       help="skip the v1-vs-v2 bytes comparison run at "
+                       "the smallest count")
+    drive.add_argument("--gate", default=None, metavar="BASELINE.json",
+                       help="regression-gate the sweep against a committed "
+                       "asdf-cluster-scale trajectory")
+    drive.add_argument("--gate-slack", type=float, default=0.4,
+                       help="fraction of baseline samples/sec the sweep "
+                       "must retain")
     drive.set_defaults(handler=cmd_cluster_drive)
 
     cluster_top = cluster_cmds.add_parser(

@@ -15,11 +15,17 @@ emits ``BENCH_cluster.json`` (format ``asdf-cluster-bench/1``).
 """
 
 from .central import CentralDaemon, run_central
-from .driver import CLUSTER_BENCH_FORMAT, run_drive
+from .driver import (
+    CLUSTER_BENCH_FORMAT,
+    CLUSTER_SCALE_FORMAT,
+    check_cluster_scale_gate,
+    run_drive,
+    run_scale_drive,
+)
 from .federation import MetricsFederator, render_snapshot_prometheus
 from .launcher import ClusterLauncher
-from .load import SyntheticNodeLoad
-from .nodeproc import run_node
+from .load import FleetLoad, FleetNodeLoad, SyntheticNodeLoad
+from .nodeproc import run_node, run_node_host
 from .state import (
     DaemonRuntime,
     list_runtimes,
@@ -32,11 +38,15 @@ from .state import (
 
 __all__ = [
     "CLUSTER_BENCH_FORMAT",
+    "CLUSTER_SCALE_FORMAT",
     "CentralDaemon",
     "ClusterLauncher",
     "DaemonRuntime",
+    "FleetLoad",
+    "FleetNodeLoad",
     "MetricsFederator",
     "SyntheticNodeLoad",
+    "check_cluster_scale_gate",
     "list_runtimes",
     "pid_alive",
     "read_runtime",
@@ -45,6 +55,8 @@ __all__ = [
     "run_central",
     "run_drive",
     "run_node",
+    "run_node_host",
+    "run_scale_drive",
     "stop_requested",
     "write_runtime",
 ]

@@ -35,7 +35,7 @@ from typing import Any, Dict, List, Optional
 
 from ..analysis.metrics import Alarm
 from ..obsv import Observatory, OpsServer, percentile
-from ..rpc import ProtocolError, RemoteError, RpcClient, TraceContext
+from ..rpc import MultiPoller, ProtocolError, RemoteError, RpcClient, TraceContext
 from ..telemetry import Telemetry
 from ..telemetry.tracing import stitch_chrome_traces
 from .federation import MetricsFederator, http_get_json
@@ -55,6 +55,9 @@ MAX_LATENCIES = 4096
 #: Recent alarms kept in the stats snapshot.
 MAX_ALARMS = 64
 
+#: Buffered windows drained per node per round (``poll_many`` batch).
+MAX_WINDOWS_PER_POLL = 32
+
 
 class _NodePeer:
     """The central's view of one collection daemon."""
@@ -62,6 +65,7 @@ class _NodePeer:
     __slots__ = (
         "name", "runtime", "client", "busy", "streak", "samples",
         "last_emit_wall", "reconnects", "errors", "ever_connected",
+        "mark_tx", "mark_rx", "rtt_s",
     )
 
     def __init__(self, name: str, runtime: DaemonRuntime) -> None:
@@ -75,6 +79,11 @@ class _NodePeer:
         self.reconnects = 0
         self.errors = 0
         self.ever_connected = False
+        #: Payload-byte totals at the last measurement mark, for
+        #: bytes-per-round accounting (Table 4 at cluster scale).
+        self.mark_tx = 0
+        self.mark_rx = 0
+        self.rtt_s: Optional[float] = None
 
 
 class CentralDaemon:
@@ -88,12 +97,18 @@ class CentralDaemon:
         k_rounds: int = K_ROUNDS,
         ops_port: int = 0,
         name: str = "central",
+        codec: str = "v2",
     ) -> None:
+        if codec not in ("v1", "v2", "json", "bin"):
+            raise ValueError(f"unknown poll codec {codec!r}")
         self.state_dir = state_dir
         self.interval_s = interval_s
         self.deviation_pct = deviation_pct
         self.k_rounds = k_rounds
         self.name = name
+        #: Poll codec: "v2" negotiates binary framing, "v1" pins the
+        #: clients to v1-style JSON hellos (the measured comparison).
+        self.codec = "v2" if codec in ("v2", "bin") else "v1"
         self.telemetry = Telemetry(trace=True)
         self.telemetry.tracer.process_name = name
         self.observatory = Observatory(telemetry=self.telemetry)
@@ -102,6 +117,7 @@ class CentralDaemon:
             self.observatory, port=ops_port, cluster=self.federator
         )
         self._peers: Dict[str, _NodePeer] = {}
+        self._poller = MultiPoller()
         self._commands: "queue.Queue[dict]" = queue.Queue(maxsize=256)
         self._stats: dict = {}
         self._alarms: List[dict] = []
@@ -112,6 +128,7 @@ class CentralDaemon:
         self.reconnects = 0
         self._mark_wall = time.time()  # fpt: noqa[FPT201] -- live-mode liveness mark; cluster mode runs on wall time
         self._samples_since_mark = 0
+        self._rounds_since_mark = 0
         self._round_durations: List[float] = []
         self._rounds_late = 0
 
@@ -139,7 +156,11 @@ class CentralDaemon:
         is grow-only, so no poll-loop state is touched.
         """
         docs = [self.telemetry.tracer.to_chrome_trace()]
+        seen_ops = set()
         for runtime in list_runtimes(self.state_dir, role="node").values():
+            if runtime.ops_url in seen_ops:
+                continue  # logical nodes sharing one host share one tracer
+            seen_ops.add(runtime.ops_url)
             try:
                 doc = http_get_json(f"{runtime.ops_url}/trace")
             except (OSError, ValueError):
@@ -162,10 +183,15 @@ class CentralDaemon:
                 peer.runtime.host, peer.runtime.rpc_port,
                 client_name=self.name, telemetry=self.telemetry,
                 timeout=5.0,
+                codec="auto" if self.codec == "v2" else "json",
             )
         except (OSError, ProtocolError):
             peer.errors += 1
             return False
+        # A reconnected client starts its byte counters from zero; the
+        # since-mark deltas must not go negative.
+        peer.mark_tx = 0
+        peer.mark_rx = 0
         if peer.ever_connected:
             peer.reconnects += 1
             self.reconnects += 1
@@ -216,9 +242,16 @@ class CentralDaemon:
             if action == "mark":
                 self._mark_wall = time.time()  # fpt: noqa[FPT201] -- live-mode liveness mark; cluster mode runs on wall time
                 self._samples_since_mark = 0
+                self._rounds_since_mark = 0
                 self._latencies = []
                 self._round_durations = []
                 self._rounds_late = 0
+                for peer in self._peers.values():
+                    counter = (
+                        peer.client.counter if peer.client is not None else None
+                    )
+                    peer.mark_tx = counter.tx_payload if counter else 0
+                    peer.mark_rx = counter.rx_payload if counter else 0
                 continue
             node = command.get("node") or ""
             targets = [
@@ -240,44 +273,43 @@ class CentralDaemon:
     # -- the poll round --------------------------------------------------------
 
     def round(self) -> None:
-        """One collection + detection round across every peer."""
+        """One pipelined collection + detection round across every peer.
+
+        Every connected peer gets one request in flight simultaneously
+        (``poll_many`` when the daemon batches windows, ``sample``
+        against v1 daemons); the selectors-based poller drains responses
+        in arrival order, so round time tracks the *slowest* node, not
+        the sum of all of them.
+        """
         round_started = time.perf_counter()
         self._drain_commands()
         self._refresh_peers()
         now = time.time()  # fpt: noqa[FPT201] -- wall-clock poll cadence is the paper's real deployment mode
         trace = TraceContext.new_root(origin=f"{self.name}@pid{os.getpid()}")
+        calls: Dict[str, Any] = {}
         for peer in self._peers.values():
             if peer.client is None:
                 continue
-            try:
-                result = peer.client.call("sample", trace=trace, now=now)
-            except (ProtocolError, RemoteError, ConnectionError, OSError):
+            if "poll_many" in peer.client.methods:
+                calls[peer.name] = (
+                    peer.client, "poll_many",
+                    {"now": now, "max_windows": MAX_WINDOWS_PER_POLL},
+                )
+            else:
+                calls[peer.name] = (peer.client, "sample", {"now": now})
+        outcomes = self._poller.poll(
+            calls, trace=trace,
+            timeout_s=max(2.0, self.interval_s * 8.0),
+        )
+        for name, outcome in outcomes.items():
+            peer = self._peers.get(name)
+            if peer is None:
+                continue
+            if outcome.error is not None:
                 self._handle_poll_failure(peer)
                 continue
-            if result is None:
-                continue  # priming sample
-            arrival_wall = time.time()  # fpt: noqa[FPT201] -- end-to-end alarm latency is measured on the wall clock
-            arrival_perf = time.perf_counter()
-            emit_wall = result.get("emit_wall")
-            hop = (
-                max(0.0, arrival_wall - float(emit_wall))
-                if isinstance(emit_wall, (int, float)) else None
-            )
-            self.observatory.tracer.note_remote_write(
-                f"collect:{peer.name}",
-                sim=float(result.get("timestamp", now)),
-                wall=arrival_perf,
-                hop_wall_s=hop,
-            )
-            peer.samples += 1
-            peer.last_emit_wall = (
-                float(emit_wall)
-                if isinstance(emit_wall, (int, float)) else arrival_wall
-            )
-            node_metrics = result.get("node") or {}
-            peer.busy = 100.0 - float(node_metrics.get("cpu_idle_pct", 100.0))
-            self.samples_total += 1
-            self._samples_since_mark += 1
+            peer.rtt_s = outcome.rtt_s
+            self._ingest(peer, outcome.result, now)
         self._detect(now)
         duration = time.perf_counter() - round_started
         self._round_durations.append(duration)
@@ -291,7 +323,47 @@ class CentralDaemon:
                 track="central", **trace.span_args(),
             )
         self.rounds += 1
+        self._rounds_since_mark += 1
         self._publish_stats()
+
+    def _ingest(self, peer: _NodePeer, result: Any, now: float) -> None:
+        """Fold one poll result (a window batch or one sample) into the
+        peer's state.  ``None`` is a v1 daemon's priming sample."""
+        if result is None:
+            return
+        if isinstance(result, dict) and "windows" in result:
+            windows = [w for w in result["windows"] if isinstance(w, dict)]
+        elif isinstance(result, dict):
+            windows = [result]
+        else:
+            return
+        if not windows:
+            return
+        arrival_wall = time.time()  # fpt: noqa[FPT201] -- end-to-end alarm latency is measured on the wall clock
+        arrival_perf = time.perf_counter()
+        for window in windows:
+            emit_wall = window.get("emit_wall")
+            hop = (
+                max(0.0, arrival_wall - float(emit_wall))
+                if isinstance(emit_wall, (int, float)) else None
+            )
+            self.observatory.tracer.note_remote_write(
+                f"collect:{peer.name}",
+                sim=float(window.get("timestamp", now)),
+                wall=arrival_perf,
+                hop_wall_s=hop,
+            )
+            peer.samples += 1
+            self.samples_total += 1
+            self._samples_since_mark += 1
+        newest = windows[-1]
+        emit_wall = newest.get("emit_wall")
+        peer.last_emit_wall = (
+            float(emit_wall)
+            if isinstance(emit_wall, (int, float)) else arrival_wall
+        )
+        node_metrics = newest.get("node") or {}
+        peer.busy = 100.0 - float(node_metrics.get("cpu_idle_pct", 100.0))
 
     def _detect(self, now: float) -> None:
         """Peer-deviation detection over this round's busy readings."""
@@ -355,9 +427,21 @@ class CentralDaemon:
         now = time.time()  # fpt: noqa[FPT201] -- stats snapshot stamps wall time for the ops surface
         elapsed = max(1e-9, now - self._mark_wall)
         durations = self._round_durations
+        rounds_marked = max(1, self._rounds_since_mark)
         nodes: Dict[str, Any] = {}
+        bytes_per_round_total = 0.0
         for peer in self._peers.values():
             counter = peer.client.counter if peer.client is not None else None
+            bytes_per_round = (
+                round(
+                    ((counter.tx_payload - peer.mark_tx)
+                     + (counter.rx_payload - peer.mark_rx)) / rounds_marked,
+                    1,
+                )
+                if counter else None
+            )
+            if bytes_per_round is not None:
+                bytes_per_round_total += bytes_per_round
             nodes[peer.name] = {
                 "connected": peer.client is not None,
                 "busy_pct": peer.busy,
@@ -371,6 +455,9 @@ class CentralDaemon:
                 ),
                 "rpc_bytes_sent": counter.tx_payload if counter else 0,
                 "rpc_bytes_received": counter.rx_payload if counter else 0,
+                "bytes_per_round": bytes_per_round,
+                "codec": peer.client.codec if peer.client is not None else None,
+                "rtt_s": round(peer.rtt_s, 6) if peer.rtt_s is not None else None,
             }
         latencies = list(self._latencies)
         # Ops handler threads read self._stats once and see the old or
@@ -385,6 +472,9 @@ class CentralDaemon:
             "samples_since_mark": self._samples_since_mark,
             "mark_wall": self._mark_wall,
             "samples_per_sec": round(self._samples_since_mark / elapsed, 3),
+            "rounds_since_mark": self._rounds_since_mark,
+            "codec": self.codec,
+            "bytes_per_round_total": round(bytes_per_round_total, 1),
             "poll_errors": self.poll_errors,
             "reconnects": self.reconnects,
             "alarms_total": len(self._alarms),
@@ -427,7 +517,7 @@ class CentralDaemon:
 
 
 def run_central(state_dir: str, interval_s: float = 0.5,
-                ops_port: int = 0) -> int:
+                ops_port: int = 0, codec: str = "v2") -> int:
     """The ``repro cluster central`` entrypoint: poll until stopped."""
     stop = threading.Event()
 
@@ -438,7 +528,7 @@ def run_central(state_dir: str, interval_s: float = 0.5,
     signal.signal(signal.SIGINT, _on_signal)
 
     central = CentralDaemon(
-        state_dir, interval_s=interval_s, ops_port=ops_port
+        state_dir, interval_s=interval_s, ops_port=ops_port, codec=codec
     )
     central.ops.start()
     central.publish()

@@ -28,18 +28,28 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import signal
 import time
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 from urllib.parse import urlencode
 
 from ..telemetry.tracing import pids_by_trace_id
 from .federation import http_get_json
 from .state import list_runtimes, pid_alive, request_stop
 
-__all__ = ["CLUSTER_BENCH_FORMAT", "DriveError", "run_drive"]
+__all__ = [
+    "CLUSTER_BENCH_FORMAT",
+    "CLUSTER_SCALE_FORMAT",
+    "DriveError",
+    "check_cluster_scale_gate",
+    "run_drive",
+    "run_scale_drive",
+]
 
 CLUSTER_BENCH_FORMAT = "asdf-cluster-bench/1"
+
+CLUSTER_SCALE_FORMAT = "asdf-cluster-scale/1"
 
 #: How long to wait for the cluster to publish + start sampling.
 READY_TIMEOUT_S = 60.0
@@ -261,3 +271,342 @@ def run_drive(
     if shutdown:
         request_stop(state_dir, reason="drive complete")
     return bench
+
+
+# -- the scale drive: ``repro cluster drive --nodes 3,10,25`` ----------------
+
+#: Mean-round denominators below this are scheduler noise, not
+#: transport: the scaling ratio's denominator is floored here so a
+#: 2 ms -> 6 ms "3x" at trivial sizes doesn't fail a sub-linear sweep.
+ROUND_RATIO_FLOOR_S = 0.01
+
+#: Hard ceiling on mean-round growth smallest -> largest node count.
+ROUND_RATIO_MAX = 2.0
+
+#: Gate slack on samples/sec vs the committed trajectory (shared-runner
+#: noise at cluster scale is large: dozens of real processes on 2 cores).
+SCALE_GATE_SLACK = 0.4
+
+
+def _ready_timeout_s(nodes: int) -> float:
+    """Startup budget: host processes import numpy + build a vec fleet."""
+    return max(READY_TIMEOUT_S, 3.0 * nodes)
+
+
+def measure_deployment(
+    state_dir: str,
+    nodes: int,
+    codec: str = "v2",
+    per_host: int = 8,
+    interval_s: float = 0.25,
+    sustain_s: float = 6.0,
+    seed: int = 1,
+    inject: bool = True,
+    trace_out: Optional[str] = None,
+) -> dict:
+    """Boot one in-process deployment, sustain, measure, tear down.
+
+    Returns one trajectory entry: throughput (samples/sec end to end),
+    round-duration backpressure (mean/max, pipelined so ~max(node RTT)),
+    measured payload bytes per node per round under the negotiated
+    codec, and -- when ``inject`` -- wall-clock alarm latency for one
+    cpuhog.  ``trace_out``, when given, fetches the stitched
+    cross-process Chrome trace before teardown and writes it there.
+    Raises :class:`DriveError` if the deployment never becomes
+    measurable; scenario soft-failures land in the entry's ``failures``.
+    """
+    from .launcher import ClusterLauncher, node_name
+
+    if os.path.isdir(state_dir):
+        shutil.rmtree(state_dir)  # stale runtime files would be adopted
+    launcher = ClusterLauncher(
+        state_dir, nodes=nodes, interval_s=interval_s, seed=seed,
+        per_host=per_host, codec=codec,
+    )
+    failures: List[str] = []
+    entry: Dict[str, Any] = {
+        "nodes": nodes,
+        "codec": codec,
+        "per_host": launcher.per_host,
+        "processes": len(launcher.host_groups()) + 1,
+        "failures": failures,
+    }
+    try:
+        launcher.up()
+        timeout_s = _ready_timeout_s(nodes)
+        if not launcher.wait_ready(timeout_s=timeout_s):
+            raise DriveError(
+                f"{nodes}-node deployment never published its runtimes"
+            )
+        base = _central_url(state_dir)
+        expected = {node_name(i) for i in range(1, nodes + 1)}
+
+        def _all_sampling() -> bool:
+            peers = _stats(base).get("nodes", {})
+            return expected <= set(peers) and all(
+                peers[name].get("samples", 0) > 0 for name in expected
+            )
+
+        if not _wait_until(_all_sampling, timeout_s, poll_s=0.5):
+            raise DriveError(
+                f"{nodes}-node deployment never started sampling"
+            )
+
+        _control(base, "mark")
+        time.sleep(max(1.0, sustain_s))
+        stats = _stats(base)
+        peers = stats.get("nodes", {})
+        back = stats.get("backpressure") or {}
+        per_node = [
+            peer.get("bytes_per_round") for peer in peers.values()
+            if isinstance(peer.get("bytes_per_round"), (int, float))
+        ]
+        rtts = sorted(
+            peer.get("rtt_s") for peer in peers.values()
+            if isinstance(peer.get("rtt_s"), (int, float))
+        )
+        entry.update({
+            "samples_per_sec": stats.get("samples_per_sec"),
+            "samples_measured": stats.get("samples_since_mark"),
+            "rounds_measured": stats.get("rounds_since_mark"),
+            "mean_round_s": back.get("mean_round_s"),
+            "max_round_s": back.get("max_round_s"),
+            "rounds_late": back.get("rounds_late"),
+            "bytes_per_node_round": (
+                round(sum(per_node) / len(per_node), 1) if per_node else None
+            ),
+            "max_rtt_s": rtts[-1] if rtts else None,
+            "poll_errors": stats.get("poll_errors"),
+            "negotiated": sorted({
+                str(peer.get("codec")) for peer in peers.values()
+            }),
+        })
+        if not entry["samples_measured"]:
+            failures.append(f"nodes={nodes}: no samples in sustain window")
+
+        if inject:
+            target = sorted(expected)[0]
+            alarms_before = stats.get("alarms_total", 0)
+            injected_wall = time.time()  # fpt: noqa[FPT201] -- fault-injection wall stamp for latency accounting
+            _control(
+                base, "inject", node=target, kind="cpuhog", intensity=1.0
+            )
+
+            def _alarmed() -> bool:
+                return _stats(base).get("alarms_total", 0) > alarms_before
+
+            if _wait_until(_alarmed, ALARM_TIMEOUT_S):
+                post = _stats(base)
+                fresh = [
+                    alarm for alarm in post.get("alarms", [])
+                    if alarm.get("time_wall", 0.0) >= injected_wall
+                ]
+                entry["detection_s"] = (
+                    round(fresh[0]["time_wall"] - injected_wall, 3)
+                    if fresh else None
+                )
+                entry["alarm_wall_latency_s"] = (
+                    post.get("alarm_wall_latency_s") or {}
+                ).get("p50")
+            else:
+                entry["detection_s"] = None
+                entry["alarm_wall_latency_s"] = None
+                failures.append(
+                    f"nodes={nodes}: no alarm within {ALARM_TIMEOUT_S}s "
+                    f"of injecting cpuhog into {target}"
+                )
+
+        if trace_out:
+            try:
+                trace_doc = _control(base, "trace")
+                with open(trace_out, "w", encoding="utf-8") as fh:
+                    json.dump(trace_doc, fh)
+                multi_pid = sum(
+                    1 for pids in pids_by_trace_id(trace_doc).values()
+                    if len(pids) >= 2
+                )
+                entry["trace_file"] = os.path.basename(trace_out)
+                entry["trace_multi_pid"] = multi_pid
+            except (DriveError, OSError, ValueError) as exc:
+                failures.append(
+                    f"nodes={nodes}: stitched trace collection failed: {exc}"
+                )
+        return entry
+    finally:
+        launcher.shutdown()
+
+
+def run_scale_drive(
+    out_dir: str,
+    node_counts: Sequence[int] = (3, 10, 25),
+    codec: str = "v2",
+    per_host: int = 8,
+    interval_s: float = 0.25,
+    sustain_s: float = 6.0,
+    seed: int = 1,
+    compare_codecs: bool = True,
+    state_root: Optional[str] = None,
+) -> dict:
+    """Sweep deployments across node counts; emit the scale trajectory.
+
+    For each count a full cluster (launcher + central + packed node
+    hosts) is booted, sustained, measured and torn down.  At the
+    smallest count the sweep additionally re-runs under the *other*
+    codec so the artifact carries a measured JSON-vs-binary
+    bytes-per-node-round comparison -- the paper's Table 4 bandwidth
+    story as a live measurement instead of an estimate.
+
+    Writes ``BENCH_cluster.json`` (format ``asdf-cluster-scale/1``)
+    into ``out_dir`` and returns it.
+    """
+    counts = sorted({int(count) for count in node_counts})
+    if not counts:
+        raise DriveError("scale drive needs at least one node count")
+    os.makedirs(out_dir, exist_ok=True)
+    state_root = state_root or os.path.join(out_dir, "scale_state")
+    failures: List[str] = []
+    sweep: List[dict] = []
+    for count in counts:
+        entry = measure_deployment(
+            os.path.join(state_root, f"n{count:03d}_{codec}"),
+            count, codec=codec, per_host=per_host, interval_s=interval_s,
+            sustain_s=sustain_s, seed=seed,
+            trace_out=(
+                os.path.join(out_dir, "trace_cluster_scale.json")
+                if count == counts[-1] else None
+            ),
+        )
+        sweep.append(entry)
+        failures.extend(entry["failures"])
+
+    codec_bytes: Optional[Dict[str, Any]] = None
+    if compare_codecs:
+        other = "v1" if codec == "v2" else "v2"
+        alt = measure_deployment(
+            os.path.join(state_root, f"n{counts[0]:03d}_{other}"),
+            counts[0], codec=other, per_host=per_host,
+            interval_s=interval_s, sustain_s=sustain_s, seed=seed,
+            inject=False,
+        )
+        failures.extend(alt["failures"])
+        pairs = {codec: sweep[0], other: alt}
+        v1_bytes = pairs["v1"].get("bytes_per_node_round")
+        v2_bytes = pairs["v2"].get("bytes_per_node_round")
+        codec_bytes = {
+            "nodes": counts[0],
+            "v1_bytes_per_node_round": v1_bytes,
+            "v2_bytes_per_node_round": v2_bytes,
+            "ratio_v2_over_v1": (
+                round(v2_bytes / v1_bytes, 3)
+                if v1_bytes and v2_bytes else None
+            ),
+        }
+        if not v1_bytes or not v2_bytes:
+            failures.append("codec comparison produced no byte counts")
+        elif v2_bytes >= v1_bytes:
+            failures.append(
+                f"binary codec not smaller: v2 {v2_bytes} B/node/round "
+                f"vs v1 {v1_bytes}"
+            )
+
+    smallest, largest = sweep[0], sweep[-1]
+    ratio: Optional[float] = None
+    if (isinstance(smallest.get("mean_round_s"), (int, float))
+            and isinstance(largest.get("mean_round_s"), (int, float))):
+        ratio = round(
+            largest["mean_round_s"]
+            / max(smallest["mean_round_s"], ROUND_RATIO_FLOOR_S),
+            3,
+        )
+    round_scaling = {
+        "smallest_nodes": smallest["nodes"],
+        "largest_nodes": largest["nodes"],
+        "smallest_mean_round_s": smallest.get("mean_round_s"),
+        "largest_mean_round_s": largest.get("mean_round_s"),
+        "ratio_floor_s": ROUND_RATIO_FLOOR_S,
+        "ratio": ratio,
+    }
+    if ratio is None:
+        failures.append("round scaling unmeasured (missing mean_round_s)")
+    elif len(counts) > 1 and ratio > ROUND_RATIO_MAX:
+        failures.append(
+            f"mean round grew {ratio}x from {smallest['nodes']} to "
+            f"{largest['nodes']} nodes (ceiling {ROUND_RATIO_MAX}x: "
+            f"pipelined rounds must track the slowest node, not the sum)"
+        )
+
+    bench = {
+        "format": CLUSTER_SCALE_FORMAT,
+        "generated_wall": time.time(),  # fpt: noqa[FPT201] -- report metadata stamp, not scenario state
+        "codec": codec,
+        "node_counts": counts,
+        "interval_s": interval_s,
+        "sustain_s": sustain_s,
+        "per_host": per_host,
+        "sweep": sweep,
+        "codec_bytes": codec_bytes,
+        "round_scaling": round_scaling,
+        "failures": failures,
+        "ok": not failures,
+    }
+    bench_path = os.path.join(out_dir, "BENCH_cluster.json")
+    with open(bench_path, "w", encoding="utf-8") as fh:
+        json.dump(bench, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return bench
+
+
+def check_cluster_scale_gate(
+    bench: dict,
+    baseline_path: Optional[str] = None,
+    slack: float = SCALE_GATE_SLACK,
+) -> Tuple[bool, str]:
+    """CI gate over a scale trajectory.
+
+    Asserts the sweep's own invariants held (binary strictly smaller
+    than JSON, mean round growth within :data:`ROUND_RATIO_MAX`), and --
+    when a committed baseline trajectory is given -- that samples/sec
+    has not regressed below ``slack`` times the baseline at any node
+    count both sweeps share.
+    """
+    problems: List[str] = []
+    if bench.get("format") != CLUSTER_SCALE_FORMAT:
+        return False, (
+            f"cluster scale gate: unexpected format {bench.get('format')!r}"
+        )
+    problems.extend(bench.get("failures") or [])
+    if baseline_path is not None:
+        try:
+            with open(baseline_path, "r", encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as error:
+            baseline = None
+            problems.append(
+                f"cannot read baseline {baseline_path}: {error}"
+            )
+        if baseline is not None and (
+                baseline.get("format") == CLUSTER_SCALE_FORMAT):
+            base_rates = {
+                entry["nodes"]: entry.get("samples_per_sec")
+                for entry in baseline.get("sweep", [])
+                if entry.get("codec") == bench.get("codec")
+            }
+            for entry in bench.get("sweep", []):
+                base = base_rates.get(entry["nodes"])
+                rate = entry.get("samples_per_sec")
+                if not base or rate is None:
+                    continue
+                floor = base * slack
+                if rate < floor:
+                    problems.append(
+                        f"samples/sec at {entry['nodes']} nodes regressed: "
+                        f"{rate} < {floor:.1f} "
+                        f"(baseline {base} x slack {slack})"
+                    )
+    if problems:
+        return False, "cluster scale gate: " + "; ".join(problems)
+    counts = bench.get("node_counts") or []
+    return True, (
+        f"cluster scale gate: ok at nodes={counts} "
+        f"(codec {bench.get('codec')})"
+    )

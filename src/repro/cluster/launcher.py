@@ -1,11 +1,16 @@
 """Spawn and supervise the live cluster: ``repro cluster up``.
 
-The launcher starts the central analysis daemon and one collection
-daemon per simulated node, each as a real OS process
-(``python -m repro cluster node/central ...``), then supervises them: a
-collection daemon that dies (crash or injected kill) is respawned with
-the same name and seed, and the fresh process republishes its runtime
-file so the central reconnects -- the reconnect-after-kill path the
+The launcher starts the central analysis daemon and the collection
+daemons as real OS processes (``python -m repro cluster node/central``),
+then supervises them.  Transport v2 packs logical node daemons into
+*host* processes (``per_host`` logical nodes per process, each with its
+own RPC server and runtime file, one shared vectorized fleet) so node
+counts in the dozens-to-hundreds stay launchable on one box: 100 nodes
+is ~13 host processes, not 100.
+
+A host that dies (crash or injected kill) is respawned with the same
+logical names and seed, and the fresh process republishes its runtime
+files so the central reconnects -- the reconnect-after-kill path the
 bench measures.  The launcher itself winds down when the cluster's stop
 marker appears (written by ``repro cluster drive --shutdown``), when the
 central daemon exits, or on Ctrl-C.
@@ -29,6 +34,9 @@ SUPERVISE_S = 0.25
 
 #: How long `wait_ready` allows for every daemon to publish its ports.
 READY_TIMEOUT_S = 30.0
+
+#: Default logical node daemons packed per host process.
+DEFAULT_PER_HOST = 8
 
 
 def node_name(index: int) -> str:
@@ -56,17 +64,35 @@ def _pythonpath() -> str:
 
 
 class ClusterLauncher:
-    """Owns the daemon subprocesses of one cluster deployment."""
+    """Owns the daemon subprocesses of one cluster deployment.
+
+    ``per_host`` packs that many logical node daemons into each host
+    process; ``codec`` pins the central's poll codec (``"v2"`` binary,
+    ``"v1"`` JSON); ``engine`` selects the node load source (``"fleet"``
+    vectorized simulator, ``"synthetic"`` the v1 generator).
+    """
 
     def __init__(self, state_dir: str, nodes: int = 3,
                  interval_s: float = 0.5, seed: int = 1,
-                 max_frame_bytes: Optional[int] = None) -> None:
+                 max_frame_bytes: Optional[int] = None,
+                 per_host: int = DEFAULT_PER_HOST,
+                 codec: str = "v2", engine: str = "fleet",
+                 sample_interval_s: Optional[float] = None) -> None:
         self.state_dir = os.path.abspath(state_dir)
         self.nodes = nodes
         self.interval_s = interval_s
         self.seed = seed
         self.max_frame_bytes = max_frame_bytes
+        self.per_host = max(1, int(per_host))
+        self.codec = codec
+        self.engine = engine
+        self.sample_interval_s = (
+            sample_interval_s if sample_interval_s is not None
+            else max(0.25, interval_s)
+        )
         self._children: Dict[str, subprocess.Popen] = {}
+        #: host key -> the node indices that host serves (respawn spec).
+        self._host_groups: Dict[str, List[int]] = {}
         self.respawns = 0
         os.makedirs(self.state_dir, exist_ok=True)
 
@@ -78,30 +104,48 @@ class ClusterLauncher:
             flags += ["--max-frame-bytes", str(self.max_frame_bytes)]
         return flags
 
-    def spawn_node(self, index: int) -> subprocess.Popen:
-        name = node_name(index)
+    def host_groups(self) -> List[List[int]]:
+        """Node indices grouped ``per_host`` per host process."""
+        indices = list(range(1, self.nodes + 1))
+        return [
+            indices[i:i + self.per_host]
+            for i in range(0, len(indices), self.per_host)
+        ]
+
+    def spawn_host(self, indices: List[int]) -> subprocess.Popen:
+        """Spawn one host process serving the given node indices."""
+        names = [node_name(i) for i in indices]
+        key = f"host:{names[0]}"
         child = _spawn(
-            ["cluster", "node", "--name", name,
-             "--seed", str(self.seed + index), *self._common_flags()],
-            os.path.join(self.state_dir, f"{name}.log"),
+            ["cluster", "node", "--names", ",".join(names),
+             "--seed", str(self.seed + indices[0]),
+             "--engine", self.engine,
+             "--sample-interval", str(self.sample_interval_s),
+             *self._common_flags()],
+            os.path.join(self.state_dir, f"{names[0]}.log"),
         )
-        self._children[name] = child
+        self._children[key] = child
+        self._host_groups[key] = list(indices)
         return child
+
+    def spawn_node(self, index: int) -> subprocess.Popen:
+        """Spawn a single-node host (used for respawns of v1 layouts)."""
+        return self.spawn_host([index])
 
     def spawn_central(self) -> subprocess.Popen:
         child = _spawn(
             ["cluster", "central", "--interval", str(self.interval_s),
-             *self._common_flags()],
+             "--codec", self.codec, *self._common_flags()],
             os.path.join(self.state_dir, "central.log"),
         )
         self._children["central"] = child
         return child
 
     def up(self) -> None:
-        """Start the central daemon plus every collection daemon."""
+        """Start the central daemon plus every collection daemon host."""
         self.spawn_central()
-        for index in range(1, self.nodes + 1):
-            self.spawn_node(index)
+        for indices in self.host_groups():
+            self.spawn_host(indices)
 
     def wait_ready(self, timeout_s: float = READY_TIMEOUT_S) -> bool:
         """Block until every daemon has published its runtime file."""
@@ -122,7 +166,7 @@ class ClusterLauncher:
     # -- supervision ---------------------------------------------------------
 
     def supervise(self) -> int:
-        """Respawn dead collection daemons until the cluster stops.
+        """Respawn dead collection hosts until the cluster stops.
 
         Returns an exit code: 0 on a requested stop, 1 when the central
         daemon died on its own.
@@ -136,15 +180,17 @@ class ClusterLauncher:
                 if central is not None and central.poll() is not None:
                     self.shutdown()
                     return 1
-                for name, child in list(self._children.items()):
-                    if name == "central" or child.poll() is None:
+                for key, child in list(self._children.items()):
+                    if key == "central" or child.poll() is None:
                         continue
-                    # A collection daemon died: respawn under the same
-                    # name; it republishes its runtime file and the
-                    # central reconnects to the new ports.
-                    index = int(name.rsplit("-", 1)[1])
-                    self.spawn_node(index)
-                    self.respawns += 1
+                    # A host died: respawn the same logical names; the
+                    # fresh process republishes its runtime files and
+                    # the central reconnects to the new ports.
+                    indices = self._host_groups.get(key)
+                    if indices:
+                        del self._children[key]
+                        self.spawn_host(indices)
+                        self.respawns += 1
                 time.sleep(SUPERVISE_S)
         except KeyboardInterrupt:
             self.shutdown()
@@ -168,3 +214,4 @@ class ClusterLauncher:
                 child.kill()
                 child.wait(timeout=grace_s)
         self._children.clear()
+        self._host_groups.clear()

@@ -1,16 +1,26 @@
-"""One collection daemon process: the ``repro cluster node`` entrypoint.
+"""Collection daemon host process: the ``repro cluster node`` entrypoint.
 
-Each simulated node of the live cluster is a real OS process running
-this loop: a :class:`~repro.cluster.load.SyntheticNodeLoad` advancing a
-``/proc`` mirror at wall speed, a
-:class:`~repro.rpc.daemons.ClusterNodeDaemon` sampling it through sadc,
-an :class:`~repro.rpc.RpcServer` serving the central daemon's polls (and
-recording serve-side spans into this process's tracer), and a
-per-daemon :class:`~repro.obsv.OpsServer` exposing ``/metrics``,
-``/metrics.json`` and ``/trace`` for the federator to scrape.  On
-startup the process publishes its pid and both ports as a runtime file;
-the loop exits on SIGTERM/SIGINT, on the cluster's stop marker, or on
-an ops ``/shutdown``.
+Transport v2 turns the one-process-per-node model into a *host* model:
+one OS process serves one or many **logical** node daemons.  The host
+builds a single shared :class:`~repro.cluster.load.FleetLoad` -- a
+vectorized Hadoop simulation (``repro.sim.vec`` struct-of-arrays state)
+advanced to wall-clock time -- and, per logical node, a
+:class:`~repro.rpc.daemons.ClusterNodeDaemon` over that node's slice of
+the fleet plus its own :class:`~repro.rpc.RpcServer`.  Each logical
+node publishes its own runtime file (so central discovery is unchanged
+whether nodes are packed 1- or 16-per-host), all sharing the host's ops
+port; 100 logical nodes land on ~13 processes instead of 100.
+
+A single **sampler thread** drives collection in push mode: every
+``sample_interval_s`` it advances the shared fleet once and buffers one
+window into every daemon, decoupling sampling cadence from the
+central's poll cadence -- the central then drains the buffered windows
+batch-wise via ``poll_many``.
+
+The process exits on SIGTERM/SIGINT, on the cluster's stop marker, or
+on an ops ``/shutdown``.  ``engine="synthetic"`` restores the v1
+per-node :class:`~repro.cluster.load.SyntheticNodeLoad` pull path for
+comparison runs.
 """
 
 from __future__ import annotations
@@ -19,22 +29,48 @@ import os
 import signal
 import threading
 import time
+from typing import List, Optional, Sequence
 
 from ..obsv import Observatory, OpsServer
 from ..rpc import ClusterNodeDaemon, RpcServer
 from ..telemetry import Telemetry
-from .load import SyntheticNodeLoad
+from .load import FleetLoad, SyntheticNodeLoad
 from .state import DaemonRuntime, stop_requested, write_runtime
 
-__all__ = ["run_node"]
+__all__ = ["run_node", "run_node_host"]
 
 #: How often the idle loop checks its exit conditions.
 POLL_S = 0.2
 
+#: Default sampler-loop cadence for the push-mode fleet host.
+SAMPLE_INTERVAL_S = 0.5
 
-def run_node(name: str, state_dir: str, seed: int = 0,
-             num_cpus: int = 4) -> int:
-    """Run one collection daemon until asked to stop; returns exit code."""
+
+def _sampler_loop(daemons: Sequence[ClusterNodeDaemon], fleet: FleetLoad,
+                  interval_s: float, stop: threading.Event) -> None:
+    """Advance the shared fleet and buffer one window per node daemon."""
+    while not stop.is_set():
+        started = time.perf_counter()
+        now = time.time()  # fpt: noqa[FPT201] -- sampler loop runs on the wall clock, like the paper's one-second collection cadence
+        fleet.advance_to(now)
+        for daemon in daemons:
+            daemon.buffer_sample(now)
+        elapsed = time.perf_counter() - started
+        stop.wait(max(0.01, interval_s - elapsed))
+
+
+def run_node_host(
+    names: Sequence[str],
+    state_dir: str,
+    seed: int = 0,
+    num_cpus: int = 4,
+    engine: str = "fleet",
+    sample_interval_s: float = SAMPLE_INTERVAL_S,
+) -> int:
+    """Run one host process serving ``names`` until asked to stop."""
+    names = list(names)
+    if not names:
+        raise ValueError("node host needs at least one logical node name")
     stop = threading.Event()
 
     def _on_signal(signum, frame):  # noqa: ARG001 - signal API
@@ -43,27 +79,67 @@ def run_node(name: str, state_dir: str, seed: int = 0,
     signal.signal(signal.SIGTERM, _on_signal)
     signal.signal(signal.SIGINT, _on_signal)
 
+    label = names[0] if len(names) == 1 else f"{names[0]}+{len(names) - 1}"
     telemetry = Telemetry(trace=True)
-    telemetry.tracer.process_name = name
-    load = SyntheticNodeLoad(name, seed=seed, num_cpus=num_cpus)
-    daemon = ClusterNodeDaemon(name, load)
-    server = RpcServer(
-        daemon, service=f"sadc@{name}", telemetry=telemetry
-    )
-    server.start()
+    telemetry.tracer.process_name = label
+
+    daemons: List[ClusterNodeDaemon] = []
+    fleet: Optional[FleetLoad] = None
+    if engine == "fleet":
+        fleet = FleetLoad(names, seed=seed)
+        for name in names:
+            daemons.append(
+                ClusterNodeDaemon(name, fleet.view(name), buffered=True)
+            )
+    elif engine == "synthetic":
+        for index, name in enumerate(names):
+            load = SyntheticNodeLoad(
+                name, seed=(seed + index) if seed else 0, num_cpus=num_cpus
+            )
+            daemons.append(ClusterNodeDaemon(name, load))
+    else:
+        raise ValueError(f"unknown node engine {engine!r}")
+
+    servers = [
+        RpcServer(daemon, service=f"sadc@{daemon.node}", telemetry=telemetry)
+        for daemon in daemons
+    ]
+    for server in servers:
+        server.start()
     observatory = Observatory(telemetry=telemetry)
     ops = OpsServer(observatory).start()
-    write_runtime(state_dir, DaemonRuntime(
-        role="node", name=name, pid=os.getpid(),
-        host="127.0.0.1", rpc_port=server.address[1], ops_port=ops.port,
-        started_wall=time.time(),  # fpt: noqa[FPT201] -- runtime metadata stamp, not scenario state
-    ))
+    for daemon, server in zip(daemons, servers):
+        write_runtime(state_dir, DaemonRuntime(
+            role="node", name=daemon.node, pid=os.getpid(),
+            host="127.0.0.1", rpc_port=server.address[1], ops_port=ops.port,
+            started_wall=time.time(),  # fpt: noqa[FPT201] -- runtime metadata stamp, not scenario state
+        ))
+
+    sampler: Optional[threading.Thread] = None
+    if fleet is not None:
+        sampler = threading.Thread(
+            target=_sampler_loop, args=(daemons, fleet, sample_interval_s, stop),
+            name=f"sampler-{label}", daemon=True,
+        )
+        sampler.start()
     try:
         while not stop.is_set():
             if ops.shutdown_requested.is_set() or stop_requested(state_dir):
                 break
             time.sleep(POLL_S)
     finally:
-        server.stop()
+        stop.set()
+        if sampler is not None:
+            sampler.join(timeout=5.0)
+        for server in servers:
+            server.stop()
         ops.stop()
     return 0
+
+
+def run_node(name: str, state_dir: str, seed: int = 0,
+             num_cpus: int = 4, engine: str = "fleet") -> int:
+    """Run one single-node collection daemon (compatibility wrapper)."""
+    return run_node_host(
+        [name], state_dir, seed=seed, num_cpus=num_cpus, engine=engine
+    )

@@ -11,9 +11,13 @@ the classic hazards statically:
   domain.  Thread domains per class are *owner* (the constructing
   thread: ``__init__`` plus public methods) and *service* (handler
   threads: ``rpc_*`` dispatch methods, ``do_GET``/``do_POST``/``handle``
-  HTTP/socket handlers, ``threading.Thread`` targets and ``run()``
-  methods of Thread subclasses, plus everything transitively reachable
-  from those seeds through method calls).
+  HTTP/socket handlers, ``threading.Thread`` targets -- bound methods
+  *and* module-level functions like the node host's ``_sampler_loop``
+  -- and ``run()`` methods of Thread subclasses, plus everything
+  transitively reachable from those seeds through method calls: a
+  seeded sampler loop marks ``FleetLoad.advance_to`` and
+  ``ClusterNodeDaemon.buffer_sample`` service-reachable, so writes the
+  pipelined poller's owner thread also touches are checked).
 * **FPT402** -- a bare ``<lock>.acquire()`` whose release is not
   guaranteed: not a ``with`` block and not immediately followed by
   ``try/finally: <lock>.release()``.
@@ -101,6 +105,9 @@ class _Method:
     attr_calls: Set[str] = field(default_factory=set)
     #: Bare ``X(...)`` call names (module-function propagation).
     bare_calls: Set[str] = field(default_factory=set)
+    #: Module functions only: True when this is a service-thread entry
+    #: (a ``Thread(target=...)`` or a seed-named function).
+    seed: bool = False
 
 
 @dataclass
@@ -223,11 +230,15 @@ class _MethodVisitor(ast.NodeVisitor):
             if attr is not None and self.owner is not None:
                 self.owner.seeds.add(attr)
             elif isinstance(keyword.value, ast.Name):
-                # Module-level function target: seed it everywhere by
-                # name (resolved against scanned module functions).
+                # Bare-name target: seed same-named methods of scanned
+                # classes *and* the scanned module function (the node
+                # host spawns its sampler as
+                # ``Thread(target=_sampler_loop, ...)``).
                 for cls in self.classes:
                     if keyword.value.id in cls.methods:
                         cls.seeds.add(keyword.value.id)
+                if keyword.value.id in self.functions:
+                    self.functions[keyword.value.id].seed = True
 
     # -- lock regions -------------------------------------------------------
 
@@ -362,7 +373,12 @@ def _scan_text(
         if isinstance(
             node, (ast.FunctionDef, ast.AsyncFunctionDef)
         ) and node not in nested_functions:
-            functions[node.name] = _Method(name=node.name)
+            method = _Method(name=node.name)
+            if node.name in _SEED_NAMES or node.name.startswith(
+                _SEED_PREFIXES
+            ):
+                method.seed = True
+            functions[node.name] = method
 
     # Populate bodies (second pass so Thread-target seeding can resolve
     # every class/function declared in the file).
@@ -419,6 +435,9 @@ def _service_reachable(
         for seed in cls.seeds:
             if seed in cls.methods:
                 mark(cls, cls.methods[seed])
+    for function in functions.values():
+        if function.seed:
+            mark(None, function)
 
     while worklist:
         cls, method = worklist.pop()

@@ -10,6 +10,14 @@ cross-process trace.
 """
 
 from .client import RpcClient
+from .codec import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    decode_message,
+    encode_request_frame,
+    encode_response_frame,
+    frame_length,
+)
 from .daemons import (
     LOG_PARSER_LAG_S,
     ClusterNodeDaemon,
@@ -18,6 +26,7 @@ from .daemons import (
     SadcDaemon,
 )
 from .inproc import InprocChannel
+from .poller import MultiPoller, PollOutcome
 from .protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -44,13 +53,17 @@ from .server import RpcServer, dispatch, handler_methods
 
 __all__ = [
     "ByteCounter",
+    "CODEC_BINARY",
+    "CODEC_JSON",
     "ClusterNodeDaemon",
     "HadoopLogDaemon",
     "InprocChannel",
     "LOG_PARSER_LAG_S",
     "MAX_FRAME_BYTES",
+    "MultiPoller",
     "ObservatoryDaemon",
     "PROTOCOL_VERSION",
+    "PollOutcome",
     "ProtocolError",
     "RemoteError",
     "RpcClient",
@@ -61,8 +74,12 @@ __all__ = [
     "TraceContext",
     "WIRE_HEADER_BYTES",
     "decode_frame",
+    "decode_message",
     "dispatch",
     "encode_frame",
+    "encode_request_frame",
+    "encode_response_frame",
+    "frame_length",
     "frame_trace",
     "handler_methods",
     "make_error",

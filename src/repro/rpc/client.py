@@ -12,41 +12,80 @@ counter keeps accumulating across connections), *trace propagation*
 :class:`~repro.rpc.protocol.TraceContext` and records a client-side
 span), and *peer-labelled* protocol errors so a malformed frame is
 attributable to a concrete remote address in cluster logs.
+
+Transport v2 adds *codec negotiation* (the hello advertises
+``["bin", "json"]``; a v2 server answers with the chosen codec plus the
+interned metric catalog, a v1 server ignores the field and the client
+falls back to JSON) and a *split call path*:
+:meth:`RpcClient.begin_call` encodes + sends the request and returns a
+pending handle, :meth:`RpcClient.finish_call` consumes the decoded
+response -- which is what lets the cluster's selectors-based
+:class:`~repro.rpc.poller.MultiPoller` keep one request in flight to
+every node simultaneously.  :meth:`call` composes the two halves into
+the original blocking round-trip.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 import socket
-import struct
 import time
+import zlib
 from typing import Any, Dict, List, Optional, Tuple
 
+from .codec import CODEC_BINARY, CODEC_JSON, decode_message, encode_request_frame
 from .protocol import (
     ByteCounter,
     ProtocolError,
     RemoteError,
     TraceContext,
-    decode_frame,
+    _LENGTH,
     encode_frame,
     make_hello,
-    make_request,
     wire_bytes,
 )
 
-_LENGTH = struct.Struct(">I")
+#: Cap on the exponential reconnect backoff delay, seconds.
+RECONNECT_MAX_DELAY_S = 5.0
+
+
+class _PendingCall:
+    """One request in flight: everything :meth:`finish_call` needs."""
+
+    __slots__ = ("request_id", "method", "trace", "started", "tx_bytes")
+
+    def __init__(self, request_id: int, method: str,
+                 trace: Optional[TraceContext], started: float,
+                 tx_bytes: int) -> None:
+        self.request_id = request_id
+        self.method = method
+        self.trace = trace
+        self.started = started
+        self.tx_bytes = tx_bytes
 
 
 class RpcClient:
-    """Synchronous request/response client over one TCP connection."""
+    """Synchronous request/response client over one TCP connection.
+
+    ``codec`` selects the negotiation stance: ``"auto"`` (default)
+    advertises binary + JSON and uses whatever the server picks;
+    ``"json"`` sends a v1-style hello with no codec field at all, which
+    doubles as the compatibility mode for driving v2 servers from
+    v1-era tooling.
+    """
 
     def __init__(self, host: str, port: int, client_name: str = "asdf",
-                 telemetry: Any = None, timeout: float = 30.0) -> None:
+                 telemetry: Any = None, timeout: float = 30.0,
+                 codec: str = "auto") -> None:
+        if codec not in ("auto", CODEC_JSON):
+            raise ValueError(f"unknown client codec stance {codec!r}")
         self.host = host
         self.port = port
         self.client_name = client_name
         self.telemetry = telemetry
         self.timeout = timeout
+        self.codec_stance = codec
         self.counter = ByteCounter()
         self.reconnects = 0
         self._ids = itertools.count(1)
@@ -57,12 +96,20 @@ class RpcClient:
     def peer(self) -> str:
         return f"{self.host}:{self.port}"
 
+    @property
+    def sock(self) -> Optional[socket.socket]:
+        """The underlying socket (for selector registration)."""
+        return self._sock
+
     def _connect(self) -> None:
         self._sock = socket.create_connection(
             (self.host, self.port), timeout=self.timeout
         )
         self.counter.count_handshake()
-        hello = encode_frame(make_hello(self.client_name), peer=self.peer)
+        offered = [CODEC_BINARY, CODEC_JSON] if self.codec_stance == "auto" else None
+        hello = encode_frame(
+            make_hello(self.client_name, codecs=offered), peer=self.peer
+        )
         self._sock.sendall(hello)
         self.counter.count_tx(len(hello), static=True)
         welcome, consumed = self._read_frame()
@@ -71,24 +118,45 @@ class RpcClient:
             raise ProtocolError(f"expected welcome, got {welcome!r} (peer {self.peer})")
         self.service: str = welcome["welcome"]
         self.methods: List[str] = list(welcome.get("methods", []))
+        chosen = welcome.get("codec")
+        self.codec: str = (
+            CODEC_BINARY
+            if offered is not None and chosen == CODEC_BINARY
+            else CODEC_JSON
+        )
+        self.metric_names: Tuple[str, ...] = (
+            tuple(welcome.get("metrics") or ())
+            if self.codec == CODEC_BINARY else ()
+        )
 
-    def reconnect(self, retries: int = 10, delay_s: float = 0.25) -> None:
-        """Drop the connection and re-establish it, retrying briefly.
+    def reconnect(self, retries: int = 10, delay_s: float = 0.25,
+                  max_delay_s: float = RECONNECT_MAX_DELAY_S) -> None:
+        """Drop the connection and re-establish it, retrying with
+        exponentially backed-off, deterministically jittered delays.
 
         Used after a collection daemon is killed and respawned: the new
         process listens on the same published address a moment later, so
-        a short retry loop bridges the gap.  Byte counters accumulate
-        across connections (each reconnect adds another handshake's
-        static overhead, exactly as a real redeployment would).
+        a short retry loop bridges the gap.  The delay doubles per
+        attempt (capped at ``max_delay_s``) and is scaled by a jitter
+        drawn from an RNG seeded on this client's identity -- every
+        client's schedule is replay-stable, but a hundred clients that
+        lost the same daemon desynchronize instead of hammering the
+        address in lockstep.  Byte counters accumulate across
+        connections (each reconnect adds another handshake's static
+        overhead, exactly as a real redeployment would).
         """
         self.close()
+        jitter = random.Random(
+            zlib.crc32(f"{self.client_name}:{self.peer}".encode("utf-8"))
+        )
         last_error: Optional[Exception] = None
         for attempt in range(max(1, retries)):
             try:
                 self._connect()
             except (OSError, ProtocolError) as exc:
                 last_error = exc
-                time.sleep(delay_s * (attempt + 1))
+                delay = min(max_delay_s, delay_s * (2.0 ** attempt))
+                time.sleep(delay * (0.5 + jitter.random()))
             else:
                 self.reconnects += 1
                 return
@@ -117,7 +185,71 @@ class RpcClient:
                     f"connection closed mid-frame (peer {self.peer})"
                 )
             body += chunk
-        return decode_frame(header + body, peer=self.peer)
+        return self.decode(header + body)
+
+    def decode(self, data: bytes) -> Tuple[Dict[str, Any], int]:
+        """Decode one complete frame in this connection's codec."""
+        return decode_message(
+            data, peer=self.peer, metric_names=getattr(self, "metric_names", ()),
+        )
+
+    def begin_call(self, method: str, trace: Optional[TraceContext] = None,
+                   **params: Any) -> _PendingCall:
+        """Encode + send one request; the response is *not* read.
+
+        Returns the pending handle :meth:`finish_call` consumes.  Used
+        directly by the pipelined poller; :meth:`call` wraps it for the
+        blocking single-call case.
+        """
+        if self._sock is None:
+            raise ProtocolError(f"client is closed (peer {self.peer})")
+        request_id = next(self._ids)
+        frame = encode_request_frame(
+            request_id, method, params,
+            trace.to_wire() if trace is not None else None,
+            codec=self.codec, peer=self.peer,
+        )
+        started = time.perf_counter()
+        self._sock.sendall(frame)
+        self.counter.count_tx(len(frame))
+        return _PendingCall(request_id, method, trace, started, len(frame))
+
+    def finish_call(self, pending: _PendingCall, response: Dict[str, Any],
+                    consumed: int) -> Any:
+        """Account + validate one decoded response; returns the result.
+
+        Raises :class:`RemoteError` when the response carries a remote
+        error, :class:`ProtocolError` on a request-id mismatch.
+        """
+        duration = time.perf_counter() - pending.started
+        self.counter.count_rx(consumed)
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.record_rpc(
+                self.service, wire_bytes(pending.tx_bytes), wire_bytes(consumed)
+            )
+            telemetry.record_rpc_endpoint(
+                f"client:{self.service}", self.counter
+            )
+            if telemetry.tracer.enabled:
+                args: Dict[str, Any] = {
+                    "method": pending.method, "peer": self.peer,
+                    "codec": self.codec,
+                }
+                if pending.trace is not None:
+                    args.update(pending.trace.span_args())
+                telemetry.tracer.complete(
+                    f"rpc.call:{pending.method}", "rpc", pending.started,
+                    duration, track=f"rpc:{self.service}", **args,
+                )
+        if response.get("id") != pending.request_id:
+            raise ProtocolError(
+                f"response id {response.get('id')} != request id "
+                f"{pending.request_id} (peer {self.peer})"
+            )
+        if "error" in response:
+            raise RemoteError(response["error"])
+        return response.get("result")
 
     def call(self, method: str, trace: Optional[TraceContext] = None,
              **params: Any) -> Any:
@@ -128,43 +260,9 @@ class RpcClient:
         client-side span covering the full round-trip is recorded on
         this client's telemetry tracer.
         """
-        if self._sock is None:
-            raise ProtocolError(f"client is closed (peer {self.peer})")
-        request_id = next(self._ids)
-        frame = encode_frame(
-            make_request(request_id, method, params, trace=trace),
-            peer=self.peer,
-        )
-        started = time.perf_counter()
-        self._sock.sendall(frame)
-        self.counter.count_tx(len(frame))
+        pending = self.begin_call(method, trace=trace, **params)
         response, consumed = self._read_frame()
-        duration = time.perf_counter() - started
-        self.counter.count_rx(consumed)
-        telemetry = self.telemetry
-        if telemetry is not None and telemetry.enabled:
-            telemetry.record_rpc(
-                self.service, wire_bytes(len(frame)), wire_bytes(consumed)
-            )
-            telemetry.record_rpc_endpoint(
-                f"client:{self.service}", self.counter
-            )
-            if telemetry.tracer.enabled:
-                args: Dict[str, Any] = {"method": method, "peer": self.peer}
-                if trace is not None:
-                    args.update(trace.span_args())
-                telemetry.tracer.complete(
-                    f"rpc.call:{method}", "rpc", started, duration,
-                    track=f"rpc:{self.service}", **args,
-                )
-        if response.get("id") != request_id:
-            raise ProtocolError(
-                f"response id {response.get('id')} != request id {request_id}"
-                f" (peer {self.peer})"
-            )
-        if "error" in response:
-            raise RemoteError(response["error"])
-        return response.get("result")
+        return self.finish_call(pending, response, consumed)
 
     def close(self) -> None:
         if self._sock is None:

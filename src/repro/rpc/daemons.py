@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import os
 import time
+from collections import deque
 from typing import Any, Dict, List, Optional
 
 from ..hadoop.log_parser import NodeLogParser
@@ -177,48 +178,146 @@ class ObservatoryDaemon:
             return self.observatory.telemetry.metrics.render_prometheus()
 
 
+#: Buffered collection windows kept per node daemon; the central poller
+#: drains them batch-wise, so this bounds memory if it falls behind.
+MAX_BUFFERED_WINDOWS = 240
+
+#: Default batch size served per ``poll_many`` call.
+DEFAULT_MAX_WINDOWS = 32
+
+
 class ClusterNodeDaemon:
     """Per-node collection daemon for the live cluster deployment.
 
-    One real OS process per simulated node (``repro cluster up``): a
-    synthetic load generator advances the node's :class:`SimProcFS`
-    counters to *wall-clock* time on every poll, and the sadc sampler
-    differences the snapshots -- so the whole collect path (load ->
-    ``/proc`` counters -> sadc rates -> RPC frame) runs at real speed
-    over real sockets.  ``load`` is duck-typed (see
+    One logical node of the live cluster (``repro cluster up``): a load
+    source advances the node's ``/proc`` counters to *wall-clock* time,
+    and the sadc sampler differences the snapshots -- so the whole
+    collect path (load -> ``/proc`` counters -> sadc rates -> RPC frame)
+    runs at real speed over real sockets.  ``load`` is duck-typed (see
+    :class:`repro.cluster.load.FleetNodeLoad` /
     :class:`repro.cluster.load.SyntheticNodeLoad`): it must expose
     ``procfs``, ``advance_to(wall_s)``, ``inject(kind, intensity)``,
     ``clear()`` and ``active_fault``.
+
+    Two collection modes:
+
+    * **pull** (``buffered=False``): every ``rpc_sample`` advances the
+      load and samples inline -- the v1 behaviour, one window per poll.
+    * **push** (``buffered=True``): the host process's sampler loop
+      calls :meth:`buffer_sample` on its own cadence and polls drain the
+      buffered windows (``rpc_poll_many`` batch-wise, ``rpc_sample`` the
+      newest) -- sampling cadence decouples from poll cadence, which is
+      what keeps per-node sample rate flat as the central fans in
+      hundreds of nodes.
+
+    ``metric_names`` is the interned catalog codec v2 packs sample rows
+    against; the RPC server advertises it in its welcome.
     """
 
-    def __init__(self, node: str, load: Any) -> None:
+    #: Interned metric catalog for binary sample framing (codec v2).
+    metric_names = tuple(NODE_METRICS)
+
+    def __init__(self, node: str, load: Any, buffered: bool = False) -> None:
         self.node = node
         self.load = load
+        self.buffered = buffered
         self._sadc = Sadc(load.procfs)
+        # deque append/popleft are atomic; single producer (sampler
+        # loop) + single consumer (the node's one poller connection).
+        self._windows: "deque[Dict[str, Any]]" = deque(
+            maxlen=MAX_BUFFERED_WINDOWS
+        )
         self.meter = _CpuMeter()
         self.samples_served = 0
+        self.windows_dropped = 0
+
+    def _collect_window(self, ts: float) -> Optional[Dict[str, Any]]:
+        self.load.advance_to(ts)
+        sample_time = getattr(self.load, "sample_time", None)
+        if sample_time is not None:
+            # Fleet loads tick in fixed sim quanta: collect against the
+            # quantized clock so every window's counter deltas span whole
+            # ticks.  A wall interval that held no tick yields elapsed 0
+            # and no window -- a zero-delta window would read as 0% idle.
+            ts = sample_time()
+        sample = self._sadc.collect(ts)
+        if sample is None:
+            return None
+        return {
+            "timestamp": sample.timestamp,
+            "node_name": self.node,
+            "node": sample.node,
+            "emit_wall": time.time(),  # fpt: noqa[FPT201] -- emit stamp feeding wall-latency measurement
+        }
+
+    def buffer_sample(self, now: Optional[float] = None) -> bool:
+        """One sampler-loop iteration (push mode): collect + enqueue.
+
+        Returns True when a window was buffered (False while priming).
+        Called only from the host process's sampler thread.
+        """
+        ts = float(now) if now is not None else time.time()  # fpt: noqa[FPT201] -- sampler loop runs on the wall clock
+        with self.meter:
+            window = self._collect_window(ts)
+            if window is None:
+                return False
+            if len(self._windows) == self._windows.maxlen:
+                self.windows_dropped += 1  # fpt: noqa[FPT401] -- single writer: only the sampler loop buffers
+            self._windows.append(window)
+            return True
 
     def rpc_sample(self, now: Optional[float] = None) -> Optional[Dict[str, Any]]:
-        """One wall-clock collection iteration; ``None`` while priming.
+        """One collection iteration; ``None`` while priming.
 
         ``now`` defaults to the daemon's own wall clock; the central
         poller passes its clock so both ends agree on the nominal
         timestamp.  ``emit_wall`` stamps the instant the sample left the
         handler, which is what end-to-end alarm latency measures against.
+        In push mode this serves the *newest* buffered window (v1
+        pollers keep working against a buffered daemon).
         """
         with self.meter:
+            if self.buffered:
+                window = None
+                while self._windows:  # keep only the newest
+                    window = self._windows.popleft()
+                if window is None:
+                    return None
+                self.samples_served += 1  # fpt: noqa[FPT401] -- single writer: one poller connection serializes rpc_sample
+                return window
             ts = float(now) if now is not None else time.time()  # fpt: noqa[FPT201] -- live-mode fallback when the poller sends no nominal clock
-            self.load.advance_to(ts)
-            sample = self._sadc.collect(ts)
-            if sample is None:
+            window = self._collect_window(ts)
+            if window is None:
                 return None
             self.samples_served += 1  # fpt: noqa[FPT401] -- single writer: one poller connection serializes rpc_sample
-            return {
-                "timestamp": sample.timestamp,
-                "node_name": self.node,
-                "node": sample.node,
-                "emit_wall": time.time(),  # fpt: noqa[FPT201] -- emit stamp feeding wall-latency measurement
-            }
+            return window
+
+    def rpc_poll_many(
+        self, now: Optional[float] = None,
+        max_windows: float = DEFAULT_MAX_WINDOWS,
+    ) -> Dict[str, Any]:
+        """Drain up to ``max_windows`` buffered collection windows.
+
+        The batched poll path: one request/response round-trip carries
+        every window accumulated since the previous poll, so poll
+        cadence and sampling cadence decouple.  In pull mode (no sampler
+        loop) it degrades to at most one inline sample, so the method is
+        always safe to call.
+        """
+        with self.meter:
+            limit = max(1, int(max_windows))
+            windows: List[Dict[str, Any]] = []
+            if self.buffered:
+                while self._windows and len(windows) < limit:
+                    windows.append(self._windows.popleft())
+            else:
+                window = self._collect_window(
+                    float(now) if now is not None else time.time()  # fpt: noqa[FPT201] -- live-mode fallback when the poller sends no nominal clock
+                )
+                if window is not None:
+                    windows.append(window)
+            self.samples_served += len(windows)  # fpt: noqa[FPT401] -- single writer: one poller connection serializes polls
+            return {"node_name": self.node, "windows": windows}
 
     def rpc_inject(self, kind: str, intensity: float = 1.0) -> Dict[str, Any]:
         """Start perturbing this node's synthetic load (cpuhog/diskhog)."""
@@ -241,6 +340,9 @@ class ClusterNodeDaemon:
                 "samples_served": self.samples_served,
                 "cpu_seconds": self.meter.cpu_seconds,
                 "fault": self.load.active_fault,
+                "buffered": self.buffered,
+                "windows_pending": len(self._windows),
+                "windows_dropped": self.windows_dropped,
             }
 
 

@@ -27,7 +27,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: Default maximum accepted frame payload, bytes (sanity bound against
 #: garbage).  The effective limit is :func:`max_frame_bytes`, which
@@ -262,12 +262,43 @@ def make_error(
     return frame
 
 
-def make_hello(client_name: str) -> Dict[str, Any]:
-    return {"hello": client_name, "version": PROTOCOL_VERSION}
+def make_hello(
+    client_name: str, codecs: Optional["list[str]"] = None
+) -> Dict[str, Any]:
+    """The client's opening frame.
+
+    ``codecs`` advertises the wire codecs this client can decode, in
+    preference order (codec v2 negotiation).  A v1 server ignores the
+    unknown key and answers with a plain welcome, which the client reads
+    as JSON-only -- cross-version pairs interoperate either way.
+    """
+    hello: Dict[str, Any] = {"hello": client_name, "version": PROTOCOL_VERSION}
+    if codecs:
+        hello["codecs"] = list(codecs)
+    return hello
 
 
-def make_welcome(service: str, methods: "list[str]") -> Dict[str, Any]:
-    return {"welcome": service, "version": PROTOCOL_VERSION, "methods": methods}
+def make_welcome(
+    service: str,
+    methods: "list[str]",
+    codec: Optional[str] = None,
+    metrics: Optional["list[str]"] = None,
+) -> Dict[str, Any]:
+    """The server's answer to a hello.
+
+    ``codec`` names the wire codec chosen for this connection and
+    ``metrics`` is the interned metric-name catalog binary sample rows
+    are packed against (codec v2).  Both are omitted for JSON-only
+    connections, producing exactly the v1 welcome.
+    """
+    welcome: Dict[str, Any] = {
+        "welcome": service, "version": PROTOCOL_VERSION, "methods": methods,
+    }
+    if codec is not None:
+        welcome["codec"] = codec
+        if metrics:
+            welcome["metrics"] = list(metrics)
+    return welcome
 
 
 @dataclass

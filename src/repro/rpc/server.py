@@ -25,13 +25,18 @@ import socketserver
 import struct
 import threading
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from .codec import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    decode_message,
+    encode_response_frame,
+)
 from .protocol import (
     ByteCounter,
     ProtocolError,
     TraceContext,
-    decode_frame,
     encode_frame,
     frame_trace,
     make_error,
@@ -41,6 +46,17 @@ from .protocol import (
 )
 
 _LENGTH = struct.Struct(">I")
+
+
+def handler_metric_names(handler: Any) -> Sequence[str]:
+    """The interned metric catalog a handler advertises for codec v2.
+
+    A handler opts into binary sample framing by exposing a non-empty
+    ``metric_names`` sequence (the ordered keys of every sample's
+    ``node`` dict); handlers without one negotiate JSON-only.
+    """
+    names = getattr(handler, "metric_names", None)
+    return tuple(names) if names else ()
 
 
 def handler_methods(handler: Any) -> List[str]:
@@ -80,9 +96,11 @@ def dispatch(handler: Any, payload: Dict[str, Any],
     return make_response(request_id, result, trace=trace)
 
 
-def _read_frame(sock: socket.socket,
-                peer: str = "") -> Optional[Tuple[Dict[str, Any], int]]:
-    """Read one full frame from a socket; None on orderly EOF."""
+def _read_frame(
+    sock: socket.socket, peer: str = "",
+    metric_names: Sequence[str] = (),
+) -> Optional[Tuple[Dict[str, Any], int]]:
+    """Read one full frame (either codec) from a socket; None on EOF."""
     header = b""
     while len(header) < _LENGTH.size:
         chunk = sock.recv(_LENGTH.size - len(header))
@@ -98,8 +116,7 @@ def _read_frame(sock: socket.socket,
                 f"connection closed mid-frame{f' (peer {peer})' if peer else ''}"
             )
         body += chunk
-    payload, consumed = decode_frame(header + body, peer=peer)
-    return payload, consumed
+    return decode_message(header + body, peer=peer, metric_names=metric_names)
 
 
 class RpcServer:
@@ -112,11 +129,14 @@ class RpcServer:
     """
 
     def __init__(self, handler: Any, service: str, port: int = 0,
-                 telemetry: Any = None) -> None:
+                 telemetry: Any = None, codec: str = "auto") -> None:
+        if codec not in ("auto", CODEC_JSON):
+            raise ValueError(f"unknown server codec stance {codec!r}")
         self.handler = handler
         self.service = service
         self.counter = ByteCounter()
         self.telemetry = telemetry
+        self.codec_stance = codec
         outer = self
 
         class _ConnectionHandler(socketserver.BaseRequestHandler):
@@ -132,20 +152,45 @@ class RpcServer:
                     outer.counter.count_rx(consumed, static=True)
                     if "hello" not in hello:
                         return
+                    # Codec negotiation: binary only when this server
+                    # allows it, the client advertised it, and the
+                    # handler publishes an interned metric catalog to
+                    # pack rows against.  Everything else -- v1 clients
+                    # (no "codecs" key), JSON-pinned servers, catalog-
+                    # less handlers -- lands on JSON, the v1 wire form.
+                    offered = hello.get("codecs")
+                    metric_names = handler_metric_names(outer.handler)
+                    use_binary = (
+                        outer.codec_stance == "auto"
+                        and isinstance(offered, list)
+                        and CODEC_BINARY in offered
+                        and bool(metric_names)
+                    )
+                    chosen = CODEC_BINARY if use_binary else CODEC_JSON
                     welcome = encode_frame(
-                        make_welcome(outer.service, handler_methods(outer.handler)),
+                        make_welcome(
+                            outer.service, handler_methods(outer.handler),
+                            codec=chosen if use_binary else None,
+                            metrics=list(metric_names) if use_binary else None,
+                        ),
                         peer=peer,
                     )
                     sock.sendall(welcome)
                     outer.counter.count_tx(len(welcome), static=True)
                     while True:
-                        frame = _read_frame(sock, peer=peer)
+                        frame = _read_frame(
+                            sock, peer=peer, metric_names=metric_names
+                        )
                         if frame is None:
                             return
                         payload, consumed = frame
                         outer.counter.count_rx(consumed)
-                        response = encode_frame(
-                            outer._serve(payload, peer), peer=peer
+                        response = encode_response_frame(
+                            outer._serve(payload, peer),
+                            method=payload.get("method"),
+                            metric_names=metric_names,
+                            codec=chosen,
+                            peer=peer,
                         )
                         sock.sendall(response)
                         outer.counter.count_tx(len(response))

@@ -12,8 +12,8 @@ def write_baseline(tmp_path, payload):
     return str(path)
 
 
-def report_with(speedup):
-    return SimpleNamespace(speedup_vs_serial=speedup)
+def report_with(speedup, jobs=0, mode="process-pool"):
+    return SimpleNamespace(speedup_vs_serial=speedup, jobs=jobs, mode=mode)
 
 
 class TestGate:
@@ -58,6 +58,44 @@ class TestGate:
         )
         assert not ok
         assert "cannot read baseline" in message
+
+    def test_multicore_floor_fails_a_slower_than_serial_run(
+        self, tmp_path, monkeypatch
+    ):
+        # On real cores, jobs=2 below 1.0x is a regression no baseline
+        # slack may excuse.
+        import repro.experiments.runner as runner
+
+        monkeypatch.setattr(runner.os, "cpu_count", lambda: 4)
+        baseline = write_baseline(tmp_path, {"speedup_vs_serial": 0.9})
+        ok, message = check_speedup_gate(
+            report_with(0.95, jobs=2), baseline, slack=0.85
+        )
+        assert not ok
+        assert "must reach 1.00x" in message
+
+    def test_multicore_floor_exempts_single_core_hosts(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.experiments.runner as runner
+
+        monkeypatch.setattr(runner.os, "cpu_count", lambda: 1)
+        baseline = write_baseline(tmp_path, {"speedup_vs_serial": 0.9})
+        ok, _message = check_speedup_gate(
+            report_with(0.95, jobs=2), baseline, slack=0.85
+        )
+        assert ok
+
+    def test_multicore_floor_satisfied_passes(self, tmp_path, monkeypatch):
+        import repro.experiments.runner as runner
+
+        monkeypatch.setattr(runner.os, "cpu_count", lambda: 4)
+        baseline = write_baseline(tmp_path, {"speedup_vs_serial": 0.9})
+        ok, message = check_speedup_gate(
+            report_with(1.4, jobs=2, mode="warm-pool"), baseline, slack=0.85
+        )
+        assert ok
+        assert "PASS" in message
 
     def test_committed_baseline_is_gateable(self):
         # The repository's own BENCH_table2.json must keep working as a

@@ -76,6 +76,52 @@ class Loop:
 """
         assert codes(text) == ["FPT401"]
 
+    def test_module_function_thread_target_seeds_the_graph(self):
+        # The node host spawns Thread(target=_sampler_loop, ...): the
+        # sampler's obj.method() calls must mark same-named methods of
+        # scanned classes service-reachable, exactly like bound-method
+        # targets do.
+        text = """\
+import threading
+
+def _sampler_loop(fleet, stop):
+    while not stop.is_set():
+        fleet.advance_to(0.0)
+
+class Fleet:
+    def __init__(self):
+        self.ticks = 0
+        threading.Thread(target=_sampler_loop, args=(self, None)).start()
+
+    def advance_to(self, wall):
+        self.ticks += 1
+
+    def progress(self):
+        return self.ticks
+"""
+        findings = scan_concurrency_source(text)
+        assert [d.code for d in findings] == ["FPT401"]
+        assert "ticks" in findings[0].message
+
+    def test_seed_named_module_function_is_an_entry(self):
+        # A module-level rpc_* function is a dispatch entry even with no
+        # Thread(...) call in the scanned file.
+        text = """\
+def rpc_poke(daemon):
+    daemon.bump()
+
+class Daemon:
+    def __init__(self):
+        self.hits = 0
+
+    def bump(self):
+        self.hits += 1
+
+    def stats(self):
+        return self.hits
+"""
+        assert codes(text) == ["FPT401"]
+
     def test_reachability_follows_self_calls(self):
         text = """\
 class Server:

@@ -1,0 +1,329 @@
+"""Tests for the binary codec v2: packing, negotiation, interop."""
+
+import struct
+
+import pytest
+
+from repro.rpc import ProtocolError, RpcClient, RpcServer, TraceContext
+from repro.rpc.codec import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    MAGIC,
+    decode_message,
+    encode_request_frame,
+    encode_response_frame,
+    frame_length,
+    is_binary_payload,
+)
+from repro.rpc.protocol import _LENGTH, encode_frame
+
+CATALOG = ("cpu_idle_pct", "loadavg_1", "disk_sectors_written_per_s")
+
+
+def _window(ts: float, idle: float) -> dict:
+    return {
+        "timestamp": ts,
+        "node_name": "node-01",
+        "node": {
+            "cpu_idle_pct": idle,
+            "loadavg_1": 1.5,
+            "disk_sectors_written_per_s": 640.0,
+        },
+        "emit_wall": ts + 0.001,
+    }
+
+
+class TestRequestRoundTrip:
+    def test_binary_sample_request(self):
+        frame = encode_request_frame(
+            7, "sample", {"now": 12.5}, None, CODEC_BINARY
+        )
+        assert is_binary_payload(frame[_LENGTH.size:])
+        payload, consumed = decode_message(frame)
+        assert consumed == len(frame)
+        assert payload == {"id": 7, "method": "sample", "params": {"now": 12.5}}
+
+    def test_binary_poll_many_request_with_trace(self):
+        trace = TraceContext.new_root(origin="central@pid1").to_wire()
+        frame = encode_request_frame(
+            9, "poll_many", {"now": 3.0, "max_windows": 32},
+            trace, CODEC_BINARY,
+        )
+        assert is_binary_payload(frame[_LENGTH.size:])
+        payload, _ = decode_message(frame)
+        assert payload["params"] == {"now": 3.0, "max_windows": 32}
+        assert payload["trace"]["id"] == trace["id"]
+        assert payload["trace"]["span"] == trace["span"]
+        assert payload["trace"]["origin"] == "central@pid1"
+
+    def test_child_trace_carries_parent(self):
+        root = TraceContext.new_root(origin="o")
+        child = root.child()
+        frame = encode_request_frame(
+            1, "sample", {}, child.to_wire(), CODEC_BINARY
+        )
+        payload, _ = decode_message(frame)
+        assert payload["trace"]["parent"] == root.span_id
+
+    def test_json_codec_always_json(self):
+        frame = encode_request_frame(1, "sample", {"now": 1.0}, None, CODEC_JSON)
+        assert not is_binary_payload(frame[_LENGTH.size:])
+        payload, _ = decode_message(frame)
+        assert payload["method"] == "sample"
+
+    def test_unpackable_method_falls_back_to_json(self):
+        frame = encode_request_frame(
+            2, "inject", {"kind": "cpuhog"}, None, CODEC_BINARY
+        )
+        assert not is_binary_payload(frame[_LENGTH.size:])
+        payload, _ = decode_message(frame)
+        assert payload["params"] == {"kind": "cpuhog"}
+
+    def test_extra_params_fall_back_to_json(self):
+        frame = encode_request_frame(
+            3, "sample", {"now": 1.0, "verbose": True}, None, CODEC_BINARY
+        )
+        assert not is_binary_payload(frame[_LENGTH.size:])
+
+    def test_non_hex_trace_falls_back_to_json(self):
+        trace = {"id": "not-hex!", "span": "nope", "origin": "x"}
+        frame = encode_request_frame(4, "sample", {}, trace, CODEC_BINARY)
+        assert not is_binary_payload(frame[_LENGTH.size:])
+        payload, _ = decode_message(frame)
+        assert payload["trace"] == trace
+
+
+class TestResponseRoundTrip:
+    def test_poll_many_batch(self):
+        windows = [_window(10.0 + i, 40.0 + i) for i in range(5)]
+        payload = {
+            "id": 3,
+            "result": {"node_name": "node-01", "windows": windows},
+        }
+        frame = encode_response_frame(
+            payload, method="poll_many", metric_names=CATALOG,
+            codec=CODEC_BINARY,
+        )
+        assert is_binary_payload(frame[_LENGTH.size:])
+        decoded, consumed = decode_message(frame, metric_names=CATALOG)
+        assert consumed == len(frame)
+        assert decoded == payload
+
+    def test_single_sample(self):
+        payload = {"id": 4, "result": _window(5.0, 33.0)}
+        frame = encode_response_frame(
+            payload, method="sample", metric_names=CATALOG,
+            codec=CODEC_BINARY,
+        )
+        assert is_binary_payload(frame[_LENGTH.size:])
+        decoded, _ = decode_message(frame, metric_names=CATALOG)
+        assert decoded == payload
+
+    def test_priming_none_result(self):
+        payload = {"id": 5, "result": None}
+        frame = encode_response_frame(
+            payload, method="sample", metric_names=CATALOG,
+            codec=CODEC_BINARY,
+        )
+        assert is_binary_payload(frame[_LENGTH.size:])
+        decoded, _ = decode_message(frame, metric_names=CATALOG)
+        assert decoded == payload
+
+    def test_error_response_binary(self):
+        payload = {"id": 6, "error": "no such method 'bogus'"}
+        frame = encode_response_frame(
+            payload, method="bogus", metric_names=CATALOG,
+            codec=CODEC_BINARY,
+        )
+        assert is_binary_payload(frame[_LENGTH.size:])
+        decoded, _ = decode_message(frame, metric_names=CATALOG)
+        assert decoded == payload
+
+    def test_catalog_mismatch_falls_back_to_json(self):
+        window = _window(1.0, 50.0)
+        window["node"]["extra_metric"] = 1.0
+        payload = {
+            "id": 7,
+            "result": {"node_name": "n", "windows": [window]},
+        }
+        frame = encode_response_frame(
+            payload, method="poll_many", metric_names=CATALOG,
+            codec=CODEC_BINARY,
+        )
+        assert not is_binary_payload(frame[_LENGTH.size:])
+        decoded, _ = decode_message(frame, metric_names=CATALOG)
+        assert decoded == payload
+
+    def test_non_sample_result_falls_back_to_json(self):
+        payload = {"id": 8, "result": {"acknowledged": True}}
+        frame = encode_response_frame(
+            payload, method="poll_many", metric_names=CATALOG,
+            codec=CODEC_BINARY,
+        )
+        assert not is_binary_payload(frame[_LENGTH.size:])
+
+    def test_binary_batch_is_smaller_than_json(self):
+        windows = [_window(float(i), 50.0) for i in range(10)]
+        payload = {"id": 1, "result": {"node_name": "n", "windows": windows}}
+        binary = encode_response_frame(
+            payload, "poll_many", CATALOG, CODEC_BINARY
+        )
+        json_frame = encode_frame(payload)
+        assert len(binary) < len(json_frame)
+
+
+class TestMalformedFrames:
+    def _binary_frame(self, body: bytes) -> bytes:
+        return _LENGTH.pack(len(body)) + body
+
+    def test_truncated_binary_body(self):
+        good = encode_request_frame(1, "sample", {"now": 1.0}, None,
+                                    CODEC_BINARY)
+        body = good[_LENGTH.size:-2]
+        with pytest.raises(ProtocolError, match="truncated binary frame"):
+            decode_message(self._binary_frame(body), peer="10.0.0.9:1234")
+
+    def test_error_carries_peer(self):
+        good = encode_request_frame(1, "sample", {"now": 1.0}, None,
+                                    CODEC_BINARY)
+        body = good[_LENGTH.size:-2]
+        with pytest.raises(ProtocolError, match="10.0.0.9:1234"):
+            decode_message(self._binary_frame(body), peer="10.0.0.9:1234")
+
+    def test_trailing_bytes_rejected(self):
+        good = encode_request_frame(1, "sample", {"now": 1.0}, None,
+                                    CODEC_BINARY)
+        body = good[_LENGTH.size:] + b"\x00\x00"
+        with pytest.raises(ProtocolError, match="trailing"):
+            decode_message(self._binary_frame(body))
+
+    def test_unknown_method_id_rejected(self):
+        body = struct.pack(">BBIB", MAGIC, 1, 1, 0) + bytes([250])
+        with pytest.raises(ProtocolError, match="unknown binary method id"):
+            decode_message(self._binary_frame(body))
+
+    def test_unknown_kind_rejected(self):
+        body = struct.pack(">BBIB", MAGIC, 9, 1, 0)
+        with pytest.raises(ProtocolError, match="unknown binary message kind"):
+            decode_message(self._binary_frame(body))
+
+    def test_sample_frame_without_catalog_rejected(self):
+        payload = {"id": 1, "result": _window(1.0, 50.0)}
+        frame = encode_response_frame(payload, "sample", CATALOG, CODEC_BINARY)
+        with pytest.raises(ProtocolError, match="no interned metric catalog"):
+            decode_message(frame, metric_names=())
+
+    def test_frame_length_incomplete_prefix(self):
+        assert frame_length(b"\x00\x00") is None
+        assert frame_length(b"") is None
+
+    def test_frame_length_oversized_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds maximum"):
+            frame_length(_LENGTH.pack(1 << 30))
+
+    def test_frame_length_of_valid_frame(self):
+        frame = encode_request_frame(1, "sample", {}, None, CODEC_BINARY)
+        assert frame_length(frame) == len(frame)
+        assert frame_length(frame + b"more") == len(frame)
+
+
+class _NodeHandler:
+    """Poll-shaped handler advertising an interned metric catalog."""
+
+    metric_names = CATALOG
+
+    def __init__(self):
+        self.polls = 0
+
+    def rpc_sample(self, now=None):
+        self.polls += 1
+        if self.polls == 1:
+            return None  # priming
+        return _window(float(now or 0.0), 42.0)
+
+    def rpc_poll_many(self, now=None, max_windows=32):
+        return {
+            "node_name": "node-01",
+            "windows": [_window(float(now or 0.0) + i, 42.0)
+                        for i in range(3)],
+        }
+
+    def rpc_inject(self, kind, intensity=1.0):
+        return {"node": "node-01", "fault": kind}
+
+
+class TestLiveInterop:
+    """v1 <-> v2 interoperability over real sockets."""
+
+    def test_v2_client_v2_server_negotiates_binary(self):
+        with RpcServer(_NodeHandler(), "sadc") as server:
+            host, port = server.address
+            with RpcClient(host, port, codec="auto") as client:
+                assert client.codec == CODEC_BINARY
+                assert client.metric_names == CATALOG
+                assert client.call("sample", now=1.0) is None  # priming
+                sample = client.call("sample", now=2.0)
+                assert sample["node"]["cpu_idle_pct"] == 42.0
+                batch = client.call("poll_many", now=3.0, max_windows=8)
+                assert len(batch["windows"]) == 3
+                assert batch["windows"][0]["node"]["loadavg_1"] == 1.5
+
+    def test_v1_client_on_v2_server_stays_json(self):
+        with RpcServer(_NodeHandler(), "sadc") as server:
+            host, port = server.address
+            with RpcClient(host, port, codec="json") as client:
+                assert client.codec == CODEC_JSON
+                assert client.metric_names == ()
+                client.call("sample", now=1.0)
+                sample = client.call("sample", now=2.0)
+                assert sample["node"]["cpu_idle_pct"] == 42.0
+
+    def test_v2_client_on_v1_server_stays_json(self):
+        with RpcServer(_NodeHandler(), "sadc", codec="json") as server:
+            host, port = server.address
+            with RpcClient(host, port, codec="auto") as client:
+                assert client.codec == CODEC_JSON
+                client.call("sample", now=1.0)
+                sample = client.call("sample", now=2.0)
+                assert sample["node"]["cpu_idle_pct"] == 42.0
+
+    def test_both_codecs_return_identical_values(self):
+        with RpcServer(_NodeHandler(), "sadc") as server:
+            host, port = server.address
+            with RpcClient(host, port, codec="auto") as v2:
+                with RpcClient(host, port, codec="json") as v1:
+                    v2.call("sample", now=1.0)
+                    v1.call("sample", now=1.0)
+                    a = v2.call("poll_many", now=5.0)
+                    b = v1.call("poll_many", now=5.0)
+                    assert a == b
+
+    def test_binary_connection_moves_fewer_bytes(self):
+        with RpcServer(_NodeHandler(), "sadc") as server:
+            host, port = server.address
+            with RpcClient(host, port, codec="auto") as v2:
+                with RpcClient(host, port, codec="json") as v1:
+                    for client in (v2, v1):
+                        for i in range(5):
+                            client.call("poll_many", now=float(i))
+                    assert (v2.counter.rx_payload
+                            < 0.5 * v1.counter.rx_payload)
+
+    def test_non_poll_methods_work_over_binary_connection(self):
+        with RpcServer(_NodeHandler(), "sadc") as server:
+            host, port = server.address
+            with RpcClient(host, port, codec="auto") as client:
+                assert client.codec == CODEC_BINARY
+                result = client.call("inject", kind="cpuhog", intensity=0.5)
+                assert result == {"node": "node-01", "fault": "cpuhog"}
+
+    def test_server_without_catalog_never_negotiates_binary(self):
+        class Bare:
+            def rpc_echo(self, value):
+                return value
+
+        with RpcServer(Bare(), "bare") as server:
+            host, port = server.address
+            with RpcClient(host, port, codec="auto") as client:
+                assert client.codec == CODEC_JSON
+                assert client.call("echo", value="x") == "x"

@@ -88,10 +88,29 @@ class TestMessageHelpers:
         assert make_error(2, "bad") == {"id": 2, "error": "bad"}
 
     def test_hello_and_welcome_carry_version(self):
-        assert make_hello("asdf")["version"] == 1
+        from repro.rpc.protocol import PROTOCOL_VERSION
+
+        assert make_hello("asdf")["version"] == PROTOCOL_VERSION
         welcome = make_welcome("sadc_rpcd", ["sample"])
         assert welcome["welcome"] == "sadc_rpcd"
         assert welcome["methods"] == ["sample"]
+
+    def test_hello_welcome_v1_shape_without_codec(self):
+        # Without negotiation fields the frames are exactly the v1
+        # shapes: no "codecs" in hello, no "codec"/"metrics" in welcome.
+        assert "codecs" not in make_hello("asdf")
+        welcome = make_welcome("sadc_rpcd", ["sample"])
+        assert "codec" not in welcome and "metrics" not in welcome
+
+    def test_hello_welcome_negotiation_fields(self):
+        assert make_hello("asdf", codecs=["bin", "json"])["codecs"] == [
+            "bin", "json",
+        ]
+        welcome = make_welcome(
+            "sadc_rpcd", ["sample"], codec="bin", metrics=["cpu_idle_pct"]
+        )
+        assert welcome["codec"] == "bin"
+        assert welcome["metrics"] == ["cpu_idle_pct"]
 
 
 class TestWireEstimation:
